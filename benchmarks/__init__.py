@@ -1,0 +1,6 @@
+"""Benchmark suite: one module per experiment of DESIGN.md's index.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every benchmark also
+asserts the paper's qualitative shape, so the suite doubles as an
+end-to-end reproduction run.
+"""

@@ -1,0 +1,58 @@
+"""Experiment F1 — Figure 1: overruling at increasing scale.
+
+Regenerates the figure's outcome (the penguin does not fly; every
+other bird does) and measures the least-model computation as the bird
+population grows.  The expected shape: time grows polynomially with the
+number of ground rules, and the meaning stays exact at every size.
+"""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.workloads.paper import figure1, scaled_figure1
+
+from .conftest import record
+
+
+def test_figure1_verbatim(benchmark):
+    program = figure1()
+
+    def run():
+        sem = OrderedSemantics(program, "c1")
+        return sem.least_model
+
+    model = benchmark(run)
+    rendered = {str(l) for l in model}
+    assert "-fly(penguin)" in rendered
+    assert "fly(pigeon)" in rendered
+    record(
+        benchmark,
+        experiment="F1",
+        penguin_flies=False,
+        pigeon_flies=True,
+        model_size=len(model),
+    )
+
+
+@pytest.mark.parametrize("n_birds,n_penguins", [(5, 2), (10, 4), (20, 8), (40, 16)])
+def test_figure1_scaled(benchmark, n_birds, n_penguins):
+    program = scaled_figure1(n_birds, n_penguins)
+
+    def run():
+        sem = OrderedSemantics(program, "c1")
+        return sem.least_model
+
+    model = benchmark(run)
+    rendered = {str(l) for l in model}
+    flying = sum(1 for i in range(n_birds) if f"fly(b{i})" in rendered)
+    grounded = sum(1 for i in range(n_birds) if f"-fly(b{i})" in rendered)
+    assert flying == n_birds - n_penguins
+    assert grounded == n_penguins
+    assert model.is_total
+    record(
+        benchmark,
+        experiment="F1-scaled",
+        birds=n_birds,
+        penguins=n_penguins,
+        flying=flying,
+    )

@@ -1,0 +1,52 @@
+"""Experiment F2 — Figure 2: defeating at increasing scale.
+
+Regenerates the figure's outcome — contested individuals end up
+undefined, uncontested ones get the free ticket — and measures the
+least-model computation plus the AF/stable enumeration (the empty set
+is the unique stable model of the original figure)."""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.workloads.paper import figure2, scaled_figure2
+
+from .conftest import record
+
+
+def test_figure2_verbatim(benchmark):
+    program = figure2()
+
+    def run():
+        sem = OrderedSemantics(program, "c1")
+        return sem.least_model, sem.stable_models()
+
+    model, stable = benchmark(run)
+    assert len(model) == 0
+    assert len(stable) == 1 and len(stable[0]) == 0
+    record(benchmark, experiment="F2", ticket_decided=False, stable_models=1)
+
+
+@pytest.mark.parametrize("n_people,n_contested", [(6, 2), (12, 4), (24, 8), (48, 16)])
+def test_figure2_scaled(benchmark, n_people, n_contested):
+    program = scaled_figure2(n_people, n_contested)
+
+    def run():
+        return OrderedSemantics(program, "c1").least_model
+
+    model = benchmark(run)
+    rendered = {str(l) for l in model}
+    ticketed = sum(
+        1 for i in range(n_people) if f"free_ticket(p{i})" in rendered
+    )
+    undefined = {str(a) for a in model.undefined_atoms()}
+    assert ticketed == n_people - n_contested
+    for i in range(n_contested):
+        assert f"rich(p{i})" in undefined
+        assert f"poor(p{i})" in undefined
+    record(
+        benchmark,
+        experiment="F2-scaled",
+        people=n_people,
+        contested=n_contested,
+        ticketed=ticketed,
+    )

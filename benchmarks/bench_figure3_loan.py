@@ -1,0 +1,73 @@
+"""Experiment F3 — Figure 3: the loan program's decision surface.
+
+Regenerates the four scenarios from the paper's introduction and then
+sweeps a 2-D grid of (inflation, loan_rate) values — the reproduction's
+analogue of a parameter-sweep table.  The shape asserted per cell is
+the formal Definition-2 semantics documented in EXPERIMENTS.md:
+``take_loan`` is TRUE when Expert3 fires or when Expert2 fires
+unopposed (no universe constant above 14); it is never FALSE."""
+
+import pytest
+
+from repro.core.interpretation import TruthValue
+from repro.core.semantics import OrderedSemantics
+from repro.workloads.paper import figure3
+
+from .conftest import record
+
+PAPER_SCENARIOS = [
+    ((), TruthValue.UNDEFINED),
+    (("inflation(12).",), TruthValue.TRUE),
+    (("inflation(12).", "loan_rate(16)."), TruthValue.UNDEFINED),
+    (("inflation(19).", "loan_rate(16)."), TruthValue.TRUE),
+]
+
+
+def test_figure3_paper_scenarios(benchmark):
+    def run():
+        return [
+            OrderedSemantics(figure3(facts), "c1").value("take_loan")
+            for facts, _ in PAPER_SCENARIOS
+        ]
+
+    values = benchmark(run)
+    for (facts, expected), value in zip(PAPER_SCENARIOS, values):
+        assert value is expected, (facts, value)
+    record(
+        benchmark,
+        experiment="F3",
+        scenario_values=[str(v) for v in values],
+    )
+
+
+@pytest.mark.parametrize("grid", [3, 5, 7])
+def test_figure3_decision_surface(benchmark, grid):
+    inflations = [10 + 2 * i for i in range(grid)]
+    rates = [10 + 2 * i for i in range(grid)]
+
+    def run():
+        surface = {}
+        for i in inflations:
+            for r in rates:
+                sem = OrderedSemantics(
+                    figure3((f"inflation({i}).", f"loan_rate({r}).")), "c1"
+                )
+                surface[(i, r)] = sem.value("take_loan")
+        return surface
+
+    surface = benchmark(run)
+    for (i, r), value in surface.items():
+        expert3 = i > r + 2
+        expert2_unopposed = i > 11 and i <= 14 and r <= 14
+        expected = (
+            TruthValue.TRUE if (expert3 or expert2_unopposed) else TruthValue.UNDEFINED
+        )
+        assert value is expected, ((i, r), value)
+    take = sum(1 for v in surface.values() if v is TruthValue.TRUE)
+    record(
+        benchmark,
+        experiment="F3-surface",
+        grid=grid,
+        cells=len(surface),
+        take_loan_cells=take,
+    )

@@ -1,0 +1,45 @@
+"""Substrate benchmark: the ``V_{P,C}`` fixpoint at depth and width.
+
+The override chain forces one new fixpoint stage per level (the
+blocking literal for level i only appears at stage i), so iteration
+count grows linearly with depth — the worst case for naive iteration.
+The taxonomy family grows width (many atoms per stage) instead."""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.workloads.hierarchies import override_chain, taxonomy
+
+from .conftest import record
+
+
+@pytest.mark.parametrize("depth", [4, 8, 16])
+def test_override_chain_depth(benchmark, depth):
+    program = override_chain(depth)
+
+    def run():
+        return OrderedSemantics(program, "c0").least_model
+
+    model = benchmark(run)
+    expected = "p(a)" if depth % 2 == 0 else "-p(a)"
+    assert expected in {str(l) for l in model}
+    record(benchmark, experiment="fixpoint-depth", depth=depth)
+
+
+@pytest.mark.parametrize("n_species", [10, 40, 80])
+def test_taxonomy_width(benchmark, n_species):
+    program = taxonomy(n_species, n_species // 4)
+
+    def run():
+        return OrderedSemantics(program, "specific").least_model
+
+    model = benchmark(run)
+    assert model.is_total
+    swimmers = sum(1 for l in model if l.positive and l.predicate == "swims")
+    assert swimmers == n_species // 4
+    record(
+        benchmark,
+        experiment="fixpoint-width",
+        species=n_species,
+        literals=len(model),
+    )

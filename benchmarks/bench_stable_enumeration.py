@@ -1,0 +1,60 @@
+"""Experiment E5 — Example 5's two stable models, plus stable-model
+enumeration scaling on the 2^n choice family (via OV).
+
+The two_stable(n) program has 2^n total stable models; enumeration time
+should track the model count, which the benchmark records."""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.core.solver import SearchBudget
+from repro.reductions.ordered_version import ordered_version
+from repro.workloads.classic import two_stable
+from repro.workloads.paper import example5
+
+from .conftest import record
+
+
+def test_example5_stable_models(benchmark):
+    program = example5()
+
+    def run():
+        return OrderedSemantics(program, "c1").stable_models()
+
+    stable = benchmark(run)
+    found = {frozenset(map(str, m.literals)) for m in stable}
+    assert found == {
+        frozenset({"a", "-b", "c"}),
+        frozenset({"-a", "b", "c"}),
+    }
+    record(benchmark, experiment="E5", stable_models=len(stable))
+
+
+def test_example5_af_models(benchmark):
+    program = example5()
+
+    def run():
+        return OrderedSemantics(program, "c1").assumption_free_models()
+
+    af = benchmark(run)
+    assert len(af) == 3  # the two stable models plus {c}
+    record(benchmark, experiment="E5-af", af_models=len(af))
+
+
+@pytest.mark.parametrize("n_pairs", [2, 4, 6])
+def test_choice_family_stable_enumeration(benchmark, n_pairs):
+    reduced = ordered_version(two_stable(n_pairs))
+
+    def run():
+        sem = reduced.semantics(budget=SearchBudget(max_leaves=10**9))
+        return sem.stable_models()
+
+    stable = benchmark(run)
+    assert len(stable) == 2**n_pairs
+    assert all(m.is_total for m in stable)
+    record(
+        benchmark,
+        experiment="E5-choice",
+        pairs=n_pairs,
+        stable_models=len(stable),
+    )

@@ -1,0 +1,73 @@
+"""Substrate benchmark: classical semantics on win–move.
+
+Well-founded (alternating fixpoint) against the stratified iterated
+fixpoint where applicable, and GL stable-model *checking*.  Shapes: the
+chain part alternates won/lost, cycles stay undefined under WFS, and
+the perfect model agrees with WFS on stratified inputs."""
+
+import pytest
+
+from repro.classical.stable import is_gl_stable
+from repro.classical.stratified import is_stratified, perfect_model
+from repro.classical.wellfounded import well_founded
+from repro.grounding.grounder import Grounder
+from repro.workloads.classic import even_odd, win_move
+
+from .conftest import record
+
+
+@pytest.mark.parametrize("chain", [8, 16, 32])
+def test_wellfounded_chain(benchmark, chain):
+    ground = Grounder().ground_rules(win_move(chain))
+
+    def run():
+        return well_founded(ground.rules, ground.base)
+
+    wf = benchmark(run)
+    wins = sorted(str(a) for a in wf.true_atoms if a.predicate == "win")
+    assert len(wins) == chain // 2
+    assert wf.is_total
+    record(benchmark, experiment="wf-chain", chain=chain, wins=len(wins))
+
+
+@pytest.mark.parametrize("cycle", [2, 4, 8])
+def test_wellfounded_cycle_partiality(benchmark, cycle):
+    ground = Grounder().ground_rules(win_move(2, cycle=cycle))
+
+    def run():
+        return well_founded(ground.rules, ground.base)
+
+    wf = benchmark(run)
+    undefined = [a for a in wf.undefined_atoms if a.predicate == "win"]
+    assert len(undefined) == cycle
+    record(benchmark, experiment="wf-cycle", cycle=cycle)
+
+
+@pytest.mark.parametrize("limit", [10, 40])
+def test_stratified_even_odd(benchmark, limit):
+    rules = even_odd(limit)
+    ground = Grounder().ground_rules(rules)
+    assert is_stratified(rules)
+
+    def run():
+        return perfect_model(rules, ground.rules)
+
+    model = benchmark(run)
+    evens = sum(1 for a in model if a.predicate == "even")
+    assert evens == limit // 2 + 1
+    wf = well_founded(ground.rules, ground.base)
+    assert wf.true_atoms == model
+    record(benchmark, experiment="stratified", limit=limit)
+
+
+@pytest.mark.parametrize("chain", [8, 16])
+def test_gl_stability_check(benchmark, chain):
+    ground = Grounder().ground_rules(win_move(chain))
+    wf = well_founded(ground.rules, ground.base)
+
+    def run():
+        return is_gl_stable(ground.rules, wf.true_atoms)
+
+    stable = benchmark(run)
+    assert stable  # total WFS model is the unique stable model
+    record(benchmark, experiment="gl-check", chain=chain)

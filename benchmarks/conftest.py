@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark asserts the *shape* the paper reports (who wins, what
+stays undefined, how many stable models) in addition to timing the
+computation, so `pytest benchmarks/ --benchmark-only` doubles as an
+end-to-end reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record(benchmark, **info) -> None:
+    """Attach reproduction facts to the benchmark JSON output."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Section 3 tour: classical logic programming inside ordered logic.
+
+A seminegative program ``C`` has no meaning of its own until a negation
+convention is chosen.  The paper's answer: make the convention *part of
+the program* by placing ``C`` under an explicit closed-world component
+(``OV(C)``); the assumption-free / stable models of the ordered program
+then coincide with the founded / stable models of ``C``.  This example
+runs the same program through every semantics the library implements
+and prints them side by side.
+
+Run:  python examples/classical_negation.py
+"""
+
+from repro import parse_rules
+from repro.classical import is_founded, is_gl_stable, well_founded
+from repro.grounding import Grounder
+from repro.reductions import extended_version, ordered_version
+
+# The win-move game on a small graph with a draw cycle:
+#   n0 -> n1 -> n2 (sink), plus the 2-cycle m0 <-> m1.
+PROGRAM = """
+move(n0, n1).  move(n1, n2).
+move(m0, m1).  move(m1, m0).
+win(X) :- move(X, Y), -win(Y).
+"""
+
+
+def main() -> None:
+    rules = parse_rules(PROGRAM)
+    ground = Grounder().ground_rules(rules)
+    print("Program: the win-move game with a draw cycle")
+    print("=" * 64)
+    for r in rules:
+        print(f"  {r}")
+
+    # 1. Well-founded semantics: the polynomial-time core.
+    wf = well_founded(ground.rules, ground.base)
+    print("\nWell-founded model:")
+    print("  true: ", sorted(str(a) for a in wf.true_atoms if a.predicate == "win"))
+    print("  false:", sorted(str(a) for a in wf.false_atoms if a.predicate == "win"))
+    print("  undef:", sorted(str(a) for a in wf.undefined_atoms))
+
+    # 2. The ordered reading: OV(C)'s least model gives the same
+    #    assumption-free core, computed by the V fixpoint.
+    ov = ordered_version(rules).semantics()
+    print("\nOV(C) least model (win atoms):")
+    print(
+        "  ",
+        sorted(
+            str(l)
+            for l in ov.least_model
+            if l.predicate == "win"
+        ),
+    )
+    assert ov.holds("win(n1)")
+    assert ov.holds("-win(n2)")
+    assert ov.undefined("win(m0)")
+
+    # 3. Stable models: the draw cycle splits into two worlds.
+    ov_stable = ov.stable_models()
+    print(f"\nOV(C) stable models ({len(ov_stable)}):")
+    for m in ov_stable:
+        print("  ", sorted(str(l) for l in m if l.predicate == "win"))
+
+    # 4. Cross-checks with the classical machinery (Propositions 3-5,
+    #    Corollary 1) — pointwise, since brute-force enumeration over
+    #    the 30-atom base would be 3^30.
+    total_stable = [m for m in ov_stable if m.is_total]
+    assert all(is_gl_stable(ground.rules, m.true_atoms()) for m in total_stable)
+    print(f"\ntotal stable models: {len(total_stable)} — all GL-stable")
+
+    # EV(C) has the same stable models (Proposition 5d) but its least
+    # model is empty — the reflexive rules shield every atom from the
+    # CWA — so enumeration cannot be seeded and scales worse than OV's.
+    # Compare on the cycle sub-program where both are instant.
+    cycle_rules = parse_rules(
+        "move(m0, m1).  move(m1, m0).  win(X) :- move(X, Y), -win(Y)."
+    )
+    ov_cycle = ordered_version(cycle_rules).semantics()
+    ev_cycle = extended_version(cycle_rules).semantics()
+    assert {m.literals for m in ev_cycle.stable_models()} == {
+        m.literals for m in ov_cycle.stable_models()
+    }
+    print("EV stable models agree with OV on the cycle (Proposition 5d)")
+
+    # Proposition 4, checked pointwise (full founded enumeration is
+    # 3^|base| — the AF models of OV(C) are exactly the founded models).
+    af = ov.assumption_free_models()
+    assert all(is_founded(ground.rules, m, ground.base) for m in af)
+    print(f"assumption-free models of OV(C): {len(af)} — all founded (Prop 4)")
+
+    print("\nOK: ordered semantics reproduces the classical semantics.")
+
+
+if __name__ == "__main__":
+    main()

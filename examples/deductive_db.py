@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The deductive-database side of Example 6: relations + Datalog.
+
+The paper's ancestor program defines ``parent`` "through a database
+relation".  This example loads an extensional database, evaluates the
+recursive IDB with the non-ground semi-naive engine (no Herbrand-
+universe grounding), cross-checks against the ground pipeline, and then
+wraps the same program in ``OV`` to get the ordered reading with its
+explicit closed world.
+
+Run:  python examples/deductive_db.py
+"""
+
+from repro import parse_rules
+from repro.classical.positive import minimal_model
+from repro.db import Database, DatalogEngine
+from repro.grounding import Grounder
+from repro.reductions import ordered_version
+
+FAMILY = [
+    ("adam", "cain"),
+    ("adam", "abel"),
+    ("adam", "seth"),
+    ("cain", "enoch"),
+    ("seth", "enos"),
+    ("enos", "kenan"),
+]
+
+RULES = parse_rules(
+    """
+    anc(X, Y) :- parent(X, Y).
+    anc(X, Y) :- parent(X, Z), anc(Z, Y).
+    siblings(X, Y) :- parent(P, X), parent(P, Y), X != Y.
+    patriarch(X) :- parent(X, Y), -child(X).
+    child(X) :- parent(Y, X).
+    """
+)
+
+
+def main() -> None:
+    db = Database()
+    for pair in FAMILY:
+        db.insert("parent", pair)
+
+    print("Deductive database (Example 6 of the paper)")
+    print("=" * 60)
+    print(f"EDB: parent relation with {len(db.relation('parent'))} tuples")
+
+    engine = DatalogEngine(RULES, db)
+
+    from repro import Variable
+
+    X = Variable("X")
+    ancestors = engine.query("anc(adam, X)")
+    print("\nadam's descendants:", sorted(str(t[X]) for t in ancestors))
+    assert engine.holds("anc(adam, kenan)")
+    assert not engine.holds("anc(kenan, adam)")
+
+    siblings = engine.query("siblings(cain, X)")
+    print("cain's siblings:   ", sorted(str(t[X]) for t in siblings))
+
+    patriarchs = engine.query("patriarch(X)")
+    print("patriarchs:        ", sorted(str(t[X]) for t in patriarchs))
+    assert engine.holds("patriarch(adam)")
+    assert not engine.holds("patriarch(cain)")
+
+    # Differential check: the engine's fixpoint equals ground-then-close
+    # (for the positive fragment) on every atom.
+    positive = [r for r in RULES if r.is_positive and not r.guards()]
+    facts = db.facts()
+    ground = Grounder().ground_rules(facts + positive)
+    engine_pos = DatalogEngine(positive, db)
+    assert {a for a in engine_pos.atoms() if a.predicate in ("anc", "child", "parent")} == {
+        a for a in minimal_model(ground.rules) if a.predicate in ("anc", "child", "parent")
+    }
+    print("\nnon-ground engine == ground-then-close on the positive part ✓")
+
+    # The ordered reading: OV adds the explicit closed world, so
+    # non-ancestry is *derivably false*, not merely absent.
+    sem = ordered_version(facts + parse_rules(
+        "anc(X, Y) :- parent(X, Y). anc(X, Y) :- parent(X, Z), anc(Z, Y)."
+    )).semantics()
+    assert sem.holds("-anc(kenan, adam)")
+    print("OV(C): -anc(kenan, adam) is explicitly derived (CWA component)")
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The loan advisor — Figure 3 of the paper.
+
+``myself`` (component ``c1``) consults three experts about taking a
+loan.  Expert2 is independent; Expert3 refines Expert4.  Depending on
+the economic facts, the experts agree, defeat each other, or the more
+specific expert overrules the general one.
+
+Run:  python examples/loan_advisor.py
+"""
+
+from repro import OrderedSemantics, TruthValue, parse_program
+
+
+def loan_program(*facts: str):
+    body = "\n".join(facts)
+    return parse_program(
+        f"""
+        component c2 {{  % Expert2: high inflation favours loans
+            take_loan :- inflation(X), X > 11.
+        }}
+        component c4 {{  % Expert4: high rates forbid loans
+            -take_loan :- loan_rate(X), X > 14.
+        }}
+        component c3 {{  % Expert3 refines Expert4: inflation can beat rates
+            take_loan :- inflation(X), loan_rate(Y), X > Y + 2.
+        }}
+        component c1 {{  % myself: the observed facts
+            {body}
+        }}
+        order c1 < c2.
+        order c1 < c3 < c4.
+        """
+    )
+
+
+SCENARIOS = [
+    ("no information", ()),
+    ("moderate inflation", ("inflation(12).",)),
+    ("inflation vs high rate (conflict)", ("inflation(12).", "loan_rate(16).")),
+    ("runaway inflation beats the rate", ("inflation(19).", "loan_rate(16).")),
+]
+
+ADVICE = {
+    TruthValue.TRUE: "take the loan",
+    TruthValue.FALSE: "do NOT take the loan",
+    TruthValue.UNDEFINED: "no advice (experts conflict or are silent)",
+}
+
+
+def main() -> None:
+    print("Loan advisor (Figure 3 of the paper)")
+    print("=" * 64)
+    for title, facts in SCENARIOS:
+        sem = OrderedSemantics(loan_program(*facts), "c1")
+        verdict = sem.value("take_loan")
+        shown = ", ".join(f.rstrip(".") for f in facts) or "(none)"
+        print(f"\nScenario: {title}")
+        print(f"  facts:   {shown}")
+        print(f"  verdict: {ADVICE[verdict]}")
+        if verdict is TruthValue.UNDEFINED and facts:
+            conflicting = [
+                r.rule
+                for r in sem.statuses()
+                if r.applicable and r.defeated and r.rule.head.predicate == "take_loan"
+            ]
+            for rule in conflicting:
+                print(f"  defeated: {rule}")
+
+    # A small decision surface: who wins across the parameter grid.
+    print("\nDecision surface (rows: inflation, cols: loan rate)")
+    rates = [10, 13, 16, 19]
+    print("        " + "".join(f"r={r:<6}" for r in rates))
+    for inflation in [10, 12, 14, 17, 20, 23]:
+        row = []
+        for rate in rates:
+            sem = OrderedSemantics(
+                loan_program(f"inflation({inflation}).", f"loan_rate({rate})."),
+                "c1",
+            )
+            row.append(str(sem.value("take_loan")))
+        print(f"  i={inflation:<4} " + "".join(f"{v:<7}" for v in row))
+    print("\n(T = take the loan, U = no conclusion; -take_loan is never")
+    print(" derivable at c1 — see EXPERIMENTS.md on Definition 2's")
+    print(" non-blocked defeaters.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (legacy editable installs go through
+``setup.py develop``, which does not build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""Ordered logic programming — a reproduction of Laenens, Saccà &
+Vermeir, *Extending Logic Programming* (ACM SIGMOD 1990).
+
+The package implements the paper's full system: the ordered-logic
+language with classical negation in rule heads, its declarative
+3-valued semantics (models, assumption-free models, stable models, the
+``V_{P,C}`` fixpoint), the classical logic-programming substrates the
+paper builds on (minimal, 3-valued, stratified, well-founded, founded
+and stable semantics), and the reductions connecting them (``OV``,
+``EV``, ``3V``).
+
+Quickstart (Figure 1 of the paper)::
+
+    from repro import parse_program, OrderedSemantics
+
+    p1 = parse_program('''
+        component c2 {
+            bird(penguin).  bird(pigeon).
+            fly(X) :- bird(X).
+            -ground_animal(X) :- bird(X).
+        }
+        component c1 {
+            ground_animal(penguin).
+            -fly(X) :- ground_animal(X).
+        }
+        order c1 < c2.
+    ''')
+    sem = OrderedSemantics(p1, "c1")
+    assert sem.holds("fly(pigeon)")
+    assert sem.holds("-fly(penguin)")
+"""
+
+from .core.interpretation import Interpretation, TruthValue
+from .core.semantics import OrderedSemantics
+from .core.solver import SearchBudget
+from .explain.trace import Explainer
+from .kb.knowledge_base import KnowledgeBase
+from .grounding.grounder import Grounder, GroundingOptions, GroundProgram, GroundRule
+from .lang.builtins import BinaryOp, Comparison
+from .lang.errors import (
+    GroundingError,
+    InconsistencyError,
+    OrderError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SearchBudgetExceeded,
+    SemanticsError,
+)
+from .lang.literals import Atom, Literal, lit, neg, pos
+from .lang.parser import parse_literal, parse_program, parse_rule, parse_rules, parse_term
+from .lang.printer import render_program
+from .lang.program import Component, OrderedProgram
+from .lang.rules import Rule, fact, rule
+from .lang.terms import Compound, Constant, Term, Variable, compound, const, var
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # language
+    "Term",
+    "Variable",
+    "Constant",
+    "Compound",
+    "var",
+    "const",
+    "compound",
+    "Atom",
+    "Literal",
+    "pos",
+    "neg",
+    "lit",
+    "Rule",
+    "rule",
+    "fact",
+    "BinaryOp",
+    "Comparison",
+    "Component",
+    "OrderedProgram",
+    # parsing / printing
+    "parse_program",
+    "parse_rules",
+    "parse_rule",
+    "parse_literal",
+    "parse_term",
+    "render_program",
+    # grounding
+    "Grounder",
+    "GroundingOptions",
+    "GroundProgram",
+    "GroundRule",
+    # semantics
+    "Interpretation",
+    "TruthValue",
+    "OrderedSemantics",
+    "SearchBudget",
+    "Explainer",
+    "KnowledgeBase",
+    # errors
+    "ReproError",
+    "ParseError",
+    "OrderError",
+    "GroundingError",
+    "SemanticsError",
+    "InconsistencyError",
+    "SearchBudgetExceeded",
+    "QueryError",
+]

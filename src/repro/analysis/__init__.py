@@ -1,0 +1,21 @@
+"""Program analysis: conflict graphs and structural statistics."""
+
+from .conflicts import Conflict, ConflictKind, conflict_summary, find_conflicts
+from .hasse import hasse_layers, render_hasse
+from .lint import LintWarning, lint_component, lint_program
+from .stats import ProgramStats, program_size, program_stats
+
+__all__ = [
+    "Conflict",
+    "ConflictKind",
+    "find_conflicts",
+    "conflict_summary",
+    "hasse_layers",
+    "render_hasse",
+    "LintWarning",
+    "lint_component",
+    "lint_program",
+    "ProgramStats",
+    "program_size",
+    "program_stats",
+]

@@ -1,0 +1,64 @@
+"""ASCII rendering of the component hierarchy (a Hasse diagram).
+
+Components are laid out by *height* (longest chain to a maximal
+element): the most general knowledge at the top, the most specific at
+the bottom, exactly as the paper draws its figures.  Covering edges are
+listed per layer; the rendering is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..lang.poset import PartialOrder
+from ..lang.program import OrderedProgram
+
+__all__ = ["hasse_layers", "render_hasse"]
+
+
+def hasse_layers(order: PartialOrder) -> list[list[str]]:
+    """Components grouped by height, most general first.
+
+    The height of an element is the length of the longest chain from it
+    up to a maximal element; maximal elements have height 0.
+    """
+    heights: dict[str, int] = {}
+
+    def height(element: str) -> int:
+        if element in heights:
+            return heights[element]
+        above = order.strictly_above(element)
+        value = 0 if not above else 1 + max(height(a) for a in above)
+        heights[element] = value
+        return value
+
+    for element in order:
+        height(element)
+    if not heights:
+        return []
+    layers: list[list[str]] = [[] for _ in range(max(heights.values()) + 1)]
+    for element, h in heights.items():
+        layers[h].append(element)
+    return [sorted(layer) for layer in layers]
+
+
+def render_hasse(source: Union[OrderedProgram, PartialOrder]) -> str:
+    """A multi-line ASCII Hasse diagram.
+
+    Each layer is one line; beneath it, the covering edges from the
+    layer below point upward (``child --> parent``).
+    """
+    order = source.order if isinstance(source, OrderedProgram) else source
+    layers = hasse_layers(order)
+    if not layers:
+        return "(empty hierarchy)"
+    covers = order.covering_pairs()
+    lines = []
+    for depth, layer in enumerate(layers):
+        lines.append("  ".join(f"[{name}]" for name in layer))
+        incoming = sorted(
+            (low, high) for low, high in covers if high in layer
+        )
+        for low, high in incoming:
+            lines.append(f"    {low} --> {high}")
+    return "\n".join(lines)

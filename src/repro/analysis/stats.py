@@ -1,0 +1,97 @@
+"""Program statistics: the paper's size measure and structural counts.
+
+"The size of a program is the total number of symbols that occur in it"
+(Section 3) — :func:`program_size` implements exactly that measure, used
+by the tests of the paper's polynomial-size remark about ``OV``/``EV``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..lang.builtins import BinaryOp, Comparison
+from ..lang.literals import Literal
+from ..lang.program import Component, OrderedProgram
+from ..lang.rules import Rule
+from ..lang.terms import Compound, Term
+
+__all__ = ["ProgramStats", "program_size", "program_stats"]
+
+
+def _term_symbols(term: Term) -> int:
+    if isinstance(term, Compound):
+        return 1 + sum(_term_symbols(a) for a in term.args)
+    return 1
+
+
+def _literal_symbols(literal: Literal) -> int:
+    size = 1 + sum(_term_symbols(a) for a in literal.args)
+    return size + (0 if literal.positive else 1)
+
+
+def _expr_symbols(expr) -> int:
+    if isinstance(expr, BinaryOp):
+        return 1 + _expr_symbols(expr.left) + _expr_symbols(expr.right)
+    return _term_symbols(expr)
+
+
+def _rule_symbols(r: Rule) -> int:
+    size = _literal_symbols(r.head)
+    for item in r.body:
+        if isinstance(item, Literal):
+            size += _literal_symbols(item)
+        elif isinstance(item, Comparison):
+            size += 1 + _expr_symbols(item.left) + _expr_symbols(item.right)
+    return size
+
+
+def program_size(
+    program: Union[OrderedProgram, Component, Iterable[Rule]],
+) -> int:
+    """Total number of symbol occurrences (the paper's size measure)."""
+    if isinstance(program, OrderedProgram):
+        return sum(program_size(c) for c in program.components())
+    if isinstance(program, Component):
+        return sum(_rule_symbols(r) for r in program.rules)
+    return sum(_rule_symbols(r) for r in program)
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Structural counts of an ordered program."""
+
+    components: int
+    rules: int
+    facts: int
+    negative_head_rules: int
+    positive_rules: int
+    predicates: int
+    constants: int
+    order_pairs: int
+    size: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.components} components, {self.rules} rules "
+            f"({self.facts} facts, {self.negative_head_rules} with negated heads, "
+            f"{self.positive_rules} Horn), {self.predicates} predicates, "
+            f"{self.constants} constants, {self.order_pairs} order pairs, "
+            f"size {self.size}"
+        )
+
+
+def program_stats(program: OrderedProgram) -> ProgramStats:
+    """Structural statistics for an ordered program."""
+    all_rules = [r for comp in program.components() for r in comp.rules]
+    return ProgramStats(
+        components=len(program),
+        rules=len(all_rules),
+        facts=sum(1 for r in all_rules if r.is_fact),
+        negative_head_rules=sum(1 for r in all_rules if r.has_negative_head),
+        positive_rules=sum(1 for r in all_rules if r.is_positive),
+        predicates=len(program.predicate_signatures()),
+        constants=len(program.constants()),
+        order_pairs=len(program.order.pairs()),
+        size=program_size(program),
+    )

@@ -1,0 +1,60 @@
+"""Positive (Horn) programs: the classical ``T_P`` operator.
+
+The minimal total model of a positive program is unique and is the least
+fixpoint of the immediate-consequence transformation (Section 2 of the
+paper, citing [L, U]).  Evaluation is semi-naive: a rule is re-examined
+only when one of its body atoms is newly derived.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable
+
+from ..grounding.grounder import GroundRule
+from ..lang.literals import Atom
+from .common import require_positive
+
+__all__ = ["immediate_consequence", "minimal_model"]
+
+
+def immediate_consequence(
+    rules: Iterable[GroundRule], atoms: AbstractSet[Atom]
+) -> frozenset[Atom]:
+    """One application of ``T_P``: heads of rules whose bodies hold."""
+    derived: set[Atom] = set()
+    for r in rules:
+        if all(l.atom in atoms for l in r.body):
+            derived.add(r.head.atom)
+    return frozenset(derived)
+
+
+def minimal_model(rules: Iterable[GroundRule]) -> frozenset[Atom]:
+    """``T_P↑ω(∅)`` — the minimal total model of a positive program,
+    returned as its set of true atoms (everything else is false).
+
+    Raises:
+        ValueError: if some rule is not a Horn clause.
+    """
+    rules = tuple(rules)
+    require_positive(rules)
+    derived: set[Atom] = set()
+    # Index rules by body atom for semi-naive evaluation.
+    waiting: dict[Atom, list[GroundRule]] = {}
+    frontier: list[Atom] = []
+    for r in rules:
+        if r.body:
+            for l in r.body:
+                waiting.setdefault(l.atom, []).append(r)
+        elif r.head.atom not in derived:
+            derived.add(r.head.atom)
+            frontier.append(r.head.atom)
+    while frontier:
+        atom = frontier.pop()
+        for r in waiting.get(atom, ()):
+            head = r.head.atom
+            if head in derived:
+                continue
+            if all(l.atom in derived for l in r.body):
+                derived.add(head)
+                frontier.append(head)
+    return frozenset(derived)

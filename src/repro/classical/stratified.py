@@ -1,0 +1,218 @@
+"""Stratified programs and the perfect model ([ABW], [N], [VG], [P1]).
+
+A seminegative program is **stratified** when its predicate dependency
+graph has no cycle through a negative edge.  Stratified programs have a
+unique perfect model, computed by the iterated fixpoint: evaluate the
+strata bottom-up, applying the closed-world assumption to each stratum
+once it is complete.
+
+The dependency graph and strata work at the *predicate* level on the
+non-ground program (the classical definition); evaluation then runs on
+the ground rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Mapping, Optional, Sequence
+
+from ..grounding.grounder import GroundRule
+from ..lang.literals import Atom
+from ..lang.rules import Rule
+
+__all__ = [
+    "DependencyGraph",
+    "dependency_graph",
+    "is_stratified",
+    "stratification",
+    "perfect_model",
+]
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """Predicate dependency graph.
+
+    Attributes:
+        predicates: all predicate symbols.
+        positive_edges: ``(body_pred, head_pred)`` pairs from positive
+            body literals.
+        negative_edges: the same from negative body literals.
+    """
+
+    predicates: frozenset[str]
+    positive_edges: frozenset[tuple[str, str]]
+    negative_edges: frozenset[tuple[str, str]]
+
+    def edges(self) -> frozenset[tuple[str, str]]:
+        return self.positive_edges | self.negative_edges
+
+
+def dependency_graph(rules: Iterable[Rule]) -> DependencyGraph:
+    """Build the predicate dependency graph of a (non-ground) program."""
+    predicates: set[str] = set()
+    positive: set[tuple[str, str]] = set()
+    negative: set[tuple[str, str]] = set()
+    for r in rules:
+        head = r.head.predicate
+        predicates.add(head)
+        for l in r.body_literals():
+            predicates.add(l.predicate)
+            edge = (l.predicate, head)
+            if l.positive:
+                positive.add(edge)
+            else:
+                negative.add(edge)
+    return DependencyGraph(
+        frozenset(predicates), frozenset(positive), frozenset(negative)
+    )
+
+
+def _strongly_connected_components(
+    nodes: frozenset[str], edges: frozenset[tuple[str, str]]
+) -> list[frozenset[str]]:
+    """Tarjan's algorithm, iterative to avoid recursion limits.  Returns
+    SCCs in reverse topological order (callees before callers)."""
+    successors: dict[str, list[str]] = {n: [] for n in nodes}
+    for src, dst in edges:
+        successors[src].append(dst)
+    index_counter = 0
+    indices: dict[str, int] = {}
+    lowlinks: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[frozenset[str]] = []
+
+    for root in sorted(nodes):
+        if root in indices:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                indices[node] = index_counter
+                lowlinks[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = successors[node]
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in indices:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlinks[node] == indices[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+    return result
+
+
+def is_stratified(rules: Iterable[Rule]) -> bool:
+    """True when no dependency cycle passes through a negative edge."""
+    graph = dependency_graph(rules)
+    components = _strongly_connected_components(graph.predicates, graph.edges())
+    membership = {
+        pred: i for i, comp in enumerate(components) for pred in comp
+    }
+    return all(
+        membership[src] != membership[dst] for src, dst in graph.negative_edges
+    )
+
+
+def stratification(rules: Iterable[Rule]) -> Optional[Mapping[str, int]]:
+    """A stratum number per predicate, or None when not stratified.
+
+    Strata satisfy: positive dependencies stay within or below the
+    head's stratum; negative dependencies come from strictly below.
+    """
+    rules = tuple(rules)
+    graph = dependency_graph(rules)
+    components = _strongly_connected_components(graph.predicates, graph.edges())
+    membership = {pred: i for i, comp in enumerate(components) for pred in comp}
+    for src, dst in graph.negative_edges:
+        if membership[src] == membership[dst]:
+            return None
+    # Longest-path layering over the condensation; negative edges force a
+    # strict increase.  Components arrive callees-first, so one pass works.
+    strata: dict[int, int] = {i: 0 for i in range(len(components))}
+    changed = True
+    while changed:
+        changed = False
+        for src, dst in graph.positive_edges:
+            s, d = membership[src], membership[dst]
+            if strata[d] < strata[s]:
+                strata[d] = strata[s]
+                changed = True
+        for src, dst in graph.negative_edges:
+            s, d = membership[src], membership[dst]
+            if strata[d] < strata[s] + 1:
+                strata[d] = strata[s] + 1
+                changed = True
+    return {pred: strata[membership[pred]] for pred in graph.predicates}
+
+
+def perfect_model(
+    non_ground_rules: Sequence[Rule],
+    ground_rules: Iterable[GroundRule],
+    base: Optional[AbstractSet[Atom]] = None,
+) -> frozenset[Atom]:
+    """The perfect model of a stratified program: iterated fixpoint over
+    the strata, reading negative body literals against the completed
+    lower strata (closed-world within each stratum).
+
+    Args:
+        non_ground_rules: the program, for stratification.
+        ground_rules: its grounding (e.g. from
+            :meth:`repro.grounding.Grounder.ground_rules`).
+        base: unused except for validation; kept for symmetry.
+
+    Raises:
+        ValueError: when the program is not stratified.
+    """
+    strata = stratification(non_ground_rules)
+    if strata is None:
+        raise ValueError("program is not stratified")
+    ground_rules = tuple(ground_rules)
+    max_stratum = max(strata.values(), default=0)
+    true_atoms: set[Atom] = set()
+    for level in range(max_stratum + 1):
+        level_rules = [
+            r for r in ground_rules if strata.get(r.head.predicate, 0) == level
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for r in level_rules:
+                if r.head.atom in true_atoms:
+                    continue
+                ok = True
+                for l in r.body:
+                    if l.positive:
+                        if l.atom not in true_atoms:
+                            ok = False
+                            break
+                    elif l.atom in true_atoms:
+                        ok = False
+                        break
+                if ok:
+                    true_atoms.add(r.head.atom)
+                    changed = True
+    return frozenset(true_atoms)

@@ -1,0 +1,217 @@
+"""Top-down (SLD) query evaluation for positive programs.
+
+The paper's conclusion points to a proof procedure for ordered logic
+([LV]); for the Horn substrate the classical procedure is SLD
+resolution [L].  Two engines are provided:
+
+* :func:`sld_answers` — plain SLD with fresh-variable renaming and a
+  depth bound (left recursion is reported as exhaustion of the bound,
+  never an infinite loop);
+* :class:`TabledEngine` — memoized ("tabled") evaluation that
+  terminates on all Datalog programs including left recursion, by
+  computing per-predicate answer tables to a fixpoint.
+
+Both agree with the bottom-up minimal model on ground queries; the
+property tests check this against :func:`repro.classical.positive.minimal_model`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Union
+
+from ..grounding.substitution import Substitution, match_atom, unify_atoms
+from ..lang.errors import QueryError
+from ..lang.literals import Atom, Literal
+from ..lang.parser import parse_literal
+from ..lang.rules import Rule
+
+__all__ = ["DepthBoundReached", "sld_answers", "TabledEngine"]
+
+
+class DepthBoundReached(QueryError):
+    """Raised when SLD search exhausts the depth bound — the query may
+    still have answers (e.g. under left recursion); use
+    :class:`TabledEngine` for guaranteed termination on Datalog."""
+
+
+def _require_positive(rules: Sequence[Rule]) -> None:
+    for r in rules:
+        if not r.is_positive:
+            raise QueryError(f"SLD handles positive rules only, got: {r}")
+        if r.guards():
+            raise QueryError(f"SLD does not evaluate guards, got: {r}")
+
+
+def _coerce_goal(goal: Union[Literal, str]) -> Literal:
+    if isinstance(goal, str):
+        goal = parse_literal(goal)
+    if not goal.positive:
+        raise QueryError("SLD goals must be positive literals")
+    return goal
+
+
+def sld_answers(
+    rules: Sequence[Rule],
+    goal: Union[Literal, str],
+    max_depth: int = 200,
+    limit: Optional[int] = None,
+) -> list[Substitution]:
+    """All SLD answers to a goal, as substitutions over its variables.
+
+    Args:
+        rules: a positive (Horn) program.
+        goal: the query literal, e.g. ``"anc(adam, X)"``.
+        max_depth: resolution-depth bound; exceeding it raises
+            :class:`DepthBoundReached` (a diverging branch would
+            otherwise loop forever).
+        limit: stop after this many answers.
+    """
+    rules = tuple(rules)
+    _require_positive(rules)
+    goal = _coerce_goal(goal)
+    by_predicate: dict[tuple[str, int], list[Rule]] = {}
+    for r in rules:
+        by_predicate.setdefault(r.head.signature, []).append(r)
+    counter = itertools.count()
+    query_variables = goal.variables()
+    answers: list[Substitution] = []
+    seen: set[Atom] = set()
+
+    def solve(goals: tuple[Atom, ...], theta: Substitution, depth: int) -> Iterator[Substitution]:
+        if not goals:
+            yield theta
+            return
+        if depth >= max_depth:
+            raise DepthBoundReached(
+                f"SLD depth bound {max_depth} reached while solving {goals[0]}"
+            )
+        current, rest = goals[0], goals[1:]
+        current = theta.apply_atom(current)
+        for r in by_predicate.get(current.signature, ()):
+            fresh = r.rename(f"_{next(counter)}")
+            mgu = unify_atoms(current, fresh.head.atom)
+            if mgu is None:
+                continue
+            combined = theta.compose(mgu)
+            subgoals = tuple(
+                mgu.apply_atom(l.atom) for l in fresh.body_literals()
+            ) + rest
+            yield from solve(subgoals, combined, depth + 1)
+
+    for theta in solve((goal.atom,), Substitution(), 0):
+        answer_atom = theta.apply_atom(goal.atom)
+        if not answer_atom.is_ground:
+            # Non-ground answers can repeat syntactically; keep them all.
+            answers.append(theta.restrict(query_variables))
+        elif answer_atom not in seen:
+            seen.add(answer_atom)
+            answers.append(theta.restrict(query_variables))
+        if limit is not None and len(answers) >= limit:
+            break
+    return answers
+
+
+@dataclass
+class _Table:
+    answers: set[Atom]
+    complete: bool = False
+
+
+class TabledEngine:
+    """Memoized top-down evaluation (terminating on Datalog).
+
+    The engine computes, per predicate, the full set of derivable ground
+    atoms by a semi-naive fixpoint restricted to the predicates
+    reachable from the query — a simple magic-sets-flavoured relevance
+    cut — then answers queries by matching against the tables.
+    """
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        rules = tuple(rules)
+        _require_positive(rules)
+        self._rules = rules
+        self._by_predicate: dict[tuple[str, int], list[Rule]] = {}
+        for r in rules:
+            self._by_predicate.setdefault(r.head.signature, []).append(r)
+        self._tables: dict[tuple[str, int], _Table] = {}
+
+    def _reachable(self, signature: tuple[str, int]) -> set[tuple[str, int]]:
+        found: set[tuple[str, int]] = set()
+        frontier = [signature]
+        while frontier:
+            current = frontier.pop()
+            if current in found:
+                continue
+            found.add(current)
+            for r in self._by_predicate.get(current, ()):
+                for l in r.body_literals():
+                    frontier.append(l.signature)
+        return found
+
+    def _materialise(self, signature: tuple[str, int]) -> None:
+        relevant = self._reachable(signature)
+        if all(
+            self._tables.get(sig, _Table(set())).complete for sig in relevant
+        ):
+            return
+        relevant_rules = [
+            r for sig in relevant for r in self._by_predicate.get(sig, ())
+        ]
+        facts: set[Atom] = set()
+        for sig in relevant:
+            table = self._tables.setdefault(sig, _Table(set()))
+            facts |= table.answers
+        changed = True
+        while changed:
+            changed = False
+            for r in relevant_rules:
+                new_heads = [
+                    theta.apply_atom(r.head.atom)
+                    for theta in self._satisfy(
+                        r.body_literals(), Substitution(), facts
+                    )
+                ]
+                for head in new_heads:
+                    if head.is_ground and head not in facts:
+                        facts.add(head)
+                        changed = True
+        for sig in relevant:
+            self._tables[sig] = _Table(
+                {a for a in facts if a.signature == sig}, complete=True
+            )
+
+    def _satisfy(
+        self,
+        body: tuple[Literal, ...],
+        theta: Substitution,
+        facts: set[Atom],
+    ) -> Iterator[Substitution]:
+        if not body:
+            yield theta
+            return
+        first, rest = body[0], body[1:]
+        pattern = theta.apply_atom(first.atom)
+        for fact in facts:
+            if fact.signature != pattern.signature:
+                continue
+            extended = match_atom(pattern, fact, theta)
+            if extended is not None:
+                yield from self._satisfy(rest, extended, facts)
+
+    def query(self, goal: Union[Literal, str]) -> list[Substitution]:
+        """All answers to a goal, as substitutions over its variables."""
+        goal = _coerce_goal(goal)
+        self._materialise(goal.signature)
+        table = self._tables.get(goal.signature, _Table(set(), True))
+        answers = []
+        for fact in sorted(table.answers, key=str):
+            theta = match_atom(goal.atom, fact)
+            if theta is not None:
+                answers.append(theta.restrict(goal.variables()))
+        return answers
+
+    def holds(self, goal: Union[Literal, str]) -> bool:
+        """Is a ground goal derivable?"""
+        return bool(self.query(goal))

@@ -1,0 +1,81 @@
+"""Well-founded semantics for seminegative programs ([VRS], [VG]).
+
+Computed by Van Gelder's alternating fixpoint.  Writing ``F(S)`` for the
+minimal model of the Gelfond–Lifschitz reduct w.r.t. ``S``:
+
+* ``K`` (true atoms) is the least fixpoint of ``F∘F`` from below;
+* ``U`` (possible atoms) is ``F(K)``; atoms outside ``U`` are false.
+
+``F`` is antitone, so ``F∘F`` is monotone and the iteration
+``K0 = ∅; U0 = F(K0); K_{i+1} = F(U_i); U_{i+1} = F(K_{i+1})``
+converges with ``K ⊆ U``.  The result is the (unique) well-founded
+partial model: true atoms ``K``, false atoms ``base − U``, the rest
+undefined.  The paper cites this as the semantics that "does not
+guarantee the existence of a total well-founded model" — the
+``undefined`` region of the result is exactly that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Optional
+
+from ..core.interpretation import Interpretation
+from ..grounding.grounder import GroundRule
+from ..lang.literals import Atom, Literal
+from .common import base_of, require_seminegative
+from .positive import minimal_model
+from .stable import gl_reduct
+
+__all__ = ["WellFoundedResult", "well_founded"]
+
+
+@dataclass(frozen=True)
+class WellFoundedResult:
+    """The well-founded partial model split into its three regions."""
+
+    true_atoms: frozenset[Atom]
+    false_atoms: frozenset[Atom]
+    undefined_atoms: frozenset[Atom]
+    iterations: int
+
+    def as_interpretation(self, base: AbstractSet[Atom]) -> Interpretation:
+        literals = [Literal(a, True) for a in self.true_atoms]
+        literals += [Literal(a, False) for a in self.false_atoms]
+        return Interpretation(literals, frozenset(base))
+
+    @property
+    def is_total(self) -> bool:
+        return not self.undefined_atoms
+
+
+def well_founded(
+    rules: Iterable[GroundRule],
+    base: Optional[AbstractSet[Atom]] = None,
+) -> WellFoundedResult:
+    """The well-founded model of a ground seminegative program."""
+    rules = tuple(rules)
+    require_seminegative(rules)
+    full_base = frozenset(base) if base is not None else base_of(rules)
+
+    def stability_operator(assumed_true: frozenset[Atom]) -> frozenset[Atom]:
+        return minimal_model(gl_reduct(rules, assumed_true))
+
+    true_atoms: frozenset[Atom] = frozenset()
+    possible: frozenset[Atom] = stability_operator(true_atoms)
+    iterations = 1
+    while True:
+        next_true = stability_operator(possible)
+        next_possible = stability_operator(next_true)
+        iterations += 2
+        if next_true == true_atoms and next_possible == possible:
+            break
+        true_atoms, possible = next_true, next_possible
+    false_atoms = full_base - possible
+    undefined = full_base - true_atoms - false_atoms
+    return WellFoundedResult(
+        true_atoms=frozenset(true_atoms),
+        false_atoms=frozenset(false_atoms),
+        undefined_atoms=frozenset(undefined),
+        iterations=iterations,
+    )

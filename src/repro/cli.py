@@ -1,0 +1,268 @@
+"""Command-line interface: run ``.olp`` programs under any semantics.
+
+Installed as ``olp`` (also ``python -m repro``).  Subcommands:
+
+* ``olp run FILE -c COMPONENT`` — print the least model; ``--semantics``
+  selects stable / assumption-free / all-models enumeration instead.
+* ``olp query FILE -c COMPONENT -q 'fly(X)'`` — answer a literal
+  pattern under cautious / skeptical / credulous entailment.
+* ``olp explain FILE -c COMPONENT`` — Definition-2 status of every
+  ground rule under the least model, plus the conflict summary.
+* ``olp stats FILE`` — structural statistics of the program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.conflicts import conflict_summary
+from .analysis.stats import program_stats
+from .core.semantics import OrderedSemantics
+from .kb.query import evaluate_query
+from .lang.errors import ReproError
+from .lang.parser import parse_program
+from .lang.program import OrderedProgram
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="olp",
+        description="Ordered logic programming (Laenens, Sacca & Vermeir, SIGMOD 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compute the meaning of a component")
+    _add_common(run)
+    run.add_argument(
+        "--semantics",
+        choices=["least", "stable", "af", "models", "total", "exhaustive"],
+        default="least",
+        help="which models to compute (default: the least model)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as JSON (see repro.serialize for the schema)",
+    )
+
+    query = sub.add_parser("query", help="answer a literal pattern")
+    _add_common(query)
+    query.add_argument("-q", "--query", required=True, help="literal pattern, e.g. 'fly(X)'")
+    query.add_argument(
+        "--mode",
+        choices=["cautious", "skeptical", "credulous"],
+        default="cautious",
+    )
+
+    explain = sub.add_parser(
+        "explain", help="rule statuses under the least model + conflicts"
+    )
+    _add_common(explain)
+
+    why = sub.add_parser(
+        "why", help="derivation tree (or failure analysis) for a literal"
+    )
+    _add_common(why)
+    why.add_argument("-q", "--query", required=True, help="ground literal")
+
+    stats = sub.add_parser("stats", help="structural program statistics")
+    stats.add_argument("file", help="path to an .olp file")
+
+    lint = sub.add_parser(
+        "lint",
+        help="find conclusions that can never fire (closure gaps)",
+    )
+    lint.add_argument("file", help="path to an .olp file")
+    lint.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="Herbrand-universe depth bound (needed with function symbols)",
+    )
+
+    repl = sub.add_parser("repl", help="interactive ordered-logic shell")
+    repl.add_argument("file", nargs="?", default=None, help="optional .olp to load")
+    return parser
+
+
+def _add_common(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("file", help="path to an .olp file")
+    sub.add_argument(
+        "-c",
+        "--component",
+        default=None,
+        help="component whose point of view to take (default: the unique "
+        "minimal component)",
+    )
+    sub.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="Herbrand-universe depth bound (needed with function symbols)",
+    )
+
+
+def _load(path: str) -> OrderedProgram:
+    with open(path) as handle:
+        return parse_program(handle.read())
+
+
+def _pick_component(program: OrderedProgram, requested: Optional[str]) -> str:
+    if requested is not None:
+        return requested
+    minimal = sorted(program.order.minimal_elements())
+    if len(minimal) == 1:
+        return minimal[0]
+    raise ReproError(
+        f"program has several minimal components {minimal}; pick one with -c"
+    )
+
+
+def _semantics(args: argparse.Namespace) -> OrderedSemantics:
+    from .grounding.grounder import GroundingOptions
+
+    program = _load(args.file)
+    component = _pick_component(program, args.component)
+    return OrderedSemantics(
+        program, component, grounding=GroundingOptions(max_depth=args.max_depth)
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    sem = _semantics(args)
+    if args.semantics == "least":
+        models = [sem.least_model]
+    else:
+        chooser = {
+            "stable": sem.stable_models,
+            "af": sem.assumption_free_models,
+            "models": sem.models,
+            "total": sem.total_models,
+            "exhaustive": sem.exhaustive_models,
+        }
+        models = chooser[args.semantics]()
+    if args.json:
+        import json
+
+        from .serialize import interpretation_to_dict
+
+        payload = {
+            "component": sem.component,
+            "semantics": args.semantics,
+            "models": [interpretation_to_dict(m) for m in models],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.semantics == "least":
+        model = models[0]
+        print(f"least model of component {sem.component}:")
+        for literal in sorted(model):
+            print(f"  {literal}")
+        undefined = sorted(map(str, model.undefined_atoms()))
+        if undefined:
+            print(f"undefined: {', '.join(undefined)}")
+        return 0
+    print(f"{len(models)} {args.semantics} model(s) of component {sem.component}:")
+    for i, model in enumerate(models):
+        print(f"  [{i}] {model}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    sem = _semantics(args)
+    answers = evaluate_query(sem, args.query, args.mode)
+    if not answers:
+        print("no")
+        return 1
+    for answer in answers:
+        print(answer.literal)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .analysis.hasse import render_hasse
+
+    sem = _semantics(args)
+    print("component hierarchy (most general on top):")
+    print(render_hasse(sem.program))
+    print()
+    print(sem.describe())
+    print("rule statuses under the least model:")
+    for report in sem.statuses():
+        print(f"  {report}")
+    summary = conflict_summary(sem)
+    print(
+        f"conflicts: {summary['overrule']} overruling pair(s), "
+        f"{summary['defeat']} defeating pair(s)"
+    )
+    return 0
+
+
+def _cmd_why(args: argparse.Namespace) -> int:
+    from .explain.trace import Explainer
+
+    sem = _semantics(args)
+    print(Explainer(sem).explain(args.query))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    print(program_stats(program))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import lint_program
+    from .grounding.grounder import GroundingOptions
+
+    program = _load(args.file)
+    findings = lint_program(
+        program, grounding=GroundingOptions(max_depth=args.max_depth)
+    )
+    if not findings:
+        print("no findings")
+        return 0
+    for warning in findings:
+        print(warning)
+        print()
+    print(f"{len(findings)} finding(s)")
+    return 1
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:  # pragma: no cover - interactive
+    from .repl import run
+
+    return run(args.file)
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "query": _cmd_query,
+    "explain": _cmd_explain,
+    "why": _cmd_why,
+    "stats": _cmd_stats,
+    "lint": _cmd_lint,
+    "repl": _cmd_repl,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Three-valued interpretations (Section 2 of the paper).
+
+An *interpretation* for a program with Herbrand base ``B`` is any
+consistent subset of ``B ∪ ¬B``.  A ground literal is **true** iff it is
+a member of the interpretation; atoms for which neither ``A`` nor ``¬A``
+is a member are **undefined** (the paper's ``Ī``).  The truth values
+order ``F < U < T`` and the value of a conjunction is the minimum of the
+values of its literals (Section 3, following [P3]).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import AbstractSet, Iterable, Iterator, Optional
+
+from ..lang.errors import InconsistencyError
+from ..lang.literals import Atom, Literal
+
+__all__ = ["TruthValue", "Interpretation"]
+
+
+class TruthValue(enum.IntEnum):
+    """The three truth values, ordered ``FALSE < UNDEFINED < TRUE``."""
+
+    FALSE = 0
+    UNDEFINED = 1
+    TRUE = 2
+
+    def __str__(self) -> str:
+        return {0: "F", 1: "U", 2: "T"}[int(self)]
+
+
+class Interpretation:
+    """An immutable, consistent set of ground literals over a base.
+
+    Args:
+        literals: the member literals.  Must be ground and consistent.
+        base: the Herbrand base (set of ground *atoms*).  Every member
+            literal's atom must belong to the base.  When omitted, the
+            base defaults to the atoms of the member literals (handy in
+            tests, but note that ``undefined_atoms`` is then empty unless
+            a wider base is given).
+    """
+
+    __slots__ = ("_literals", "_base", "_hash")
+
+    def __init__(
+        self,
+        literals: Iterable[Literal] = (),
+        base: Optional[AbstractSet[Atom]] = None,
+    ) -> None:
+        members = frozenset(literals)
+        for l in members:
+            if not isinstance(l, Literal):
+                raise TypeError(f"interpretation members must be literals: {l!r}")
+            if not l.is_ground:
+                raise ValueError(f"interpretation members must be ground: {l}")
+            if l.complement() in members:
+                raise InconsistencyError(
+                    f"inconsistent interpretation: both {l} and {l.complement()}"
+                )
+        atom_set = frozenset(l.atom for l in members)
+        if base is None:
+            full_base = atom_set
+        else:
+            full_base = frozenset(base)
+            missing = atom_set - full_base
+            if missing:
+                raise ValueError(
+                    f"literals outside the base: {sorted(map(str, missing))}"
+                )
+        object.__setattr__(self, "_literals", members)
+        object.__setattr__(self, "_base", full_base)
+        object.__setattr__(self, "_hash", hash(("interp", members, full_base)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Interpretation is immutable")
+
+    # ------------------------------------------------------------------
+    # Membership and valuation
+    # ------------------------------------------------------------------
+    @property
+    def literals(self) -> frozenset[Literal]:
+        return self._literals
+
+    @property
+    def base(self) -> frozenset[Atom]:
+        return self._base
+
+    def __contains__(self, literal: object) -> bool:
+        return literal in self._literals
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self._literals)
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def value(self, literal: Literal) -> TruthValue:
+        """The value of a ground literal: T if a member, F if its
+        complement is a member, U otherwise."""
+        if literal in self._literals:
+            return TruthValue.TRUE
+        if literal.complement() in self._literals:
+            return TruthValue.FALSE
+        return TruthValue.UNDEFINED
+
+    def value_of_atom(self, atom: Atom) -> TruthValue:
+        return self.value(Literal(atom, True))
+
+    def conjunction_value(self, literals: Iterable[Literal]) -> TruthValue:
+        """``value(J) = min over the literals`` — and T for the empty
+        conjunction (Section 3)."""
+        result = TruthValue.TRUE
+        for l in literals:
+            v = self.value(l)
+            if v < result:
+                result = v
+                if result is TruthValue.FALSE:
+                    break
+        return result
+
+    # ------------------------------------------------------------------
+    # The paper's derived sets
+    # ------------------------------------------------------------------
+    def undefined_atoms(self) -> frozenset[Atom]:
+        """``Ī``: the base atoms with neither ``A`` nor ``¬A`` assigned."""
+        defined = frozenset(l.atom for l in self._literals)
+        return self._base - defined
+
+    @property
+    def is_total(self) -> bool:
+        """Total interpretations assign a value to every base atom."""
+        return not self.undefined_atoms()
+
+    def positive_part(self) -> frozenset[Literal]:
+        """``I+``: the positive member literals."""
+        return frozenset(l for l in self._literals if l.positive)
+
+    def negative_part(self) -> frozenset[Literal]:
+        """``I-``: the negative member literals."""
+        return frozenset(l for l in self._literals if not l.positive)
+
+    def true_atoms(self) -> frozenset[Atom]:
+        return frozenset(l.atom for l in self._literals if l.positive)
+
+    def false_atoms(self) -> frozenset[Atom]:
+        return frozenset(l.atom for l in self._literals if not l.positive)
+
+    # ------------------------------------------------------------------
+    # Construction of variants
+    # ------------------------------------------------------------------
+    def with_literals(self, extra: Iterable[Literal]) -> "Interpretation":
+        """A new interpretation with extra literals added (atoms outside
+        the base widen the base)."""
+        members = self._literals | frozenset(extra)
+        base = self._base | frozenset(l.atom for l in members)
+        return Interpretation(members, base)
+
+    def without_literals(self, removed: Iterable[Literal]) -> "Interpretation":
+        return Interpretation(self._literals - frozenset(removed), self._base)
+
+    def restricted_to(self, atoms: AbstractSet[Atom]) -> "Interpretation":
+        """The interpretation restricted to a sub-base."""
+        keep = frozenset(l for l in self._literals if l.atom in atoms)
+        return Interpretation(keep, frozenset(atoms))
+
+    def with_base(self, base: AbstractSet[Atom]) -> "Interpretation":
+        """The same literals over a (usually wider) base."""
+        return Interpretation(self._literals, frozenset(base) | frozenset(
+            l.atom for l in self._literals
+        ))
+
+    # ------------------------------------------------------------------
+    # Set-like comparisons (on literal sets; the base does not compare)
+    # ------------------------------------------------------------------
+    def issubset(self, other: "Interpretation") -> bool:
+        return self._literals <= other._literals
+
+    def __le__(self, other: "Interpretation") -> bool:
+        return self._literals <= other._literals
+
+    def __lt__(self, other: "Interpretation") -> bool:
+        return self._literals < other._literals
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interpretation)
+            and other._literals == self._literals
+            and other._base == self._base
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(l) for l in sorted(self._literals))
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Interpretation({self}, |base|={len(self._base)})"

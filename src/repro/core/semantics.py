@@ -1,0 +1,223 @@
+"""The facade tying the ordered semantics together.
+
+:class:`OrderedSemantics` fixes a program and a component, grounds
+``C*`` once, and exposes every notion of Sections 2: statuses, the
+``V_{P,C}`` transformation and the least model, Definition-3 model
+checking, assumption analysis, and model / AF-model / stable-model
+enumeration.
+
+>>> from repro.workloads.paper import figure1
+>>> sem = OrderedSemantics(figure1(), "c1")
+>>> sem.holds("fly(pigeon)")
+True
+>>> sem.holds("-fly(penguin)")
+True
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Optional, Union
+
+from ..grounding.grounder import Grounder, GroundingOptions, GroundProgram
+from ..lang.errors import SemanticsError
+from ..lang.literals import Literal
+from ..lang.program import OrderedProgram
+from .assumptions import AssumptionAnalyzer
+from .interpretation import Interpretation, TruthValue
+from .models import ModelChecker
+from .solver import ModelEnumerator, SearchBudget
+from .statuses import ComponentOrder, StatusEvaluator, StatusReport
+from .transform import OrderedTransform
+
+__all__ = ["OrderedSemantics"]
+
+
+class OrderedSemantics:
+    """The meaning of an ordered program in one of its components.
+
+    Args:
+        program: the ordered program ``P``.
+        component: the component ``C`` whose point of view is taken.
+        grounding: grounder options (depth bounds etc.).
+        budget: search budget for the enumeration methods.
+    """
+
+    def __init__(
+        self,
+        program: OrderedProgram,
+        component: str,
+        grounding: GroundingOptions = GroundingOptions(),
+        budget: SearchBudget = SearchBudget(),
+    ) -> None:
+        if component not in program:
+            raise SemanticsError(f"no component named {component!r}")
+        self.program = program
+        self.component = component
+        self._grounding_options = grounding
+        self._budget = budget
+
+    # ------------------------------------------------------------------
+    # Grounding and shared machinery (built lazily, cached)
+    # ------------------------------------------------------------------
+    @cached_property
+    def ground(self) -> GroundProgram:
+        """``ground(C*)`` plus the Herbrand base of ``C*``."""
+        return Grounder(self._grounding_options).ground_component_star(
+            self.program, self.component
+        )
+
+    @cached_property
+    def evaluator(self) -> StatusEvaluator:
+        return StatusEvaluator(self.ground.rules, ComponentOrder(self.program.order))
+
+    @cached_property
+    def transform(self) -> OrderedTransform:
+        return OrderedTransform(self.evaluator, self.ground.base)
+
+    @cached_property
+    def checker(self) -> ModelChecker:
+        return ModelChecker(self.evaluator, self.ground.base)
+
+    @cached_property
+    def assumptions(self) -> AssumptionAnalyzer:
+        return AssumptionAnalyzer(self.evaluator, self.ground.base)
+
+    @cached_property
+    def enumerator(self) -> ModelEnumerator:
+        return ModelEnumerator(self.evaluator, self.ground.base, self._budget)
+
+    # ------------------------------------------------------------------
+    # Interpretations
+    # ------------------------------------------------------------------
+    def interpretation(self, literals: Iterable[Union[Literal, str]]) -> Interpretation:
+        """Build an interpretation over this component's base; literals
+        may be given as strings in the surface syntax."""
+        return Interpretation(
+            tuple(self._coerce(l) for l in literals), self.ground.base
+        )
+
+    def _coerce(self, literal: Union[Literal, str]) -> Literal:
+        if isinstance(literal, Literal):
+            return literal
+        from ..lang.parser import parse_literal
+
+        return parse_literal(literal)
+
+    # ------------------------------------------------------------------
+    # The least model and entailment
+    # ------------------------------------------------------------------
+    @cached_property
+    def least_model(self) -> Interpretation:
+        """``V↑ω(∅)`` — the least (assumption-free) model; Theorem 1(b)."""
+        return self.transform.least_fixpoint()
+
+    def value(self, literal: Union[Literal, str]) -> TruthValue:
+        """The truth value of a ground literal in the least model."""
+        return self.least_model.value(self._coerce(literal))
+
+    def holds(self, literal: Union[Literal, str]) -> bool:
+        """True when the literal is true in the least model (cautious,
+        assumption-free entailment)."""
+        return self.value(literal) is TruthValue.TRUE
+
+    def undefined(self, literal: Union[Literal, str]) -> bool:
+        """True when the least model leaves the literal undefined — e.g.
+        after two experts defeat each other (Figure 2)."""
+        return self.value(literal) is TruthValue.UNDEFINED
+
+    # ------------------------------------------------------------------
+    # Definition 2 statuses (diagnostics)
+    # ------------------------------------------------------------------
+    def statuses(
+        self, interp: Optional[Interpretation] = None
+    ) -> list[StatusReport]:
+        """Status report of every ground rule under ``interp`` (defaults
+        to the least model)."""
+        interp = interp if interp is not None else self.least_model
+        return list(self.evaluator.reports(interp))
+
+    # ------------------------------------------------------------------
+    # Model checking and enumeration
+    # ------------------------------------------------------------------
+    def is_model(self, interp: Interpretation) -> bool:
+        return self.checker.is_model(interp)
+
+    def is_assumption_free_model(self, interp: Interpretation) -> bool:
+        return self.checker.is_model(interp) and self.assumptions.is_assumption_free(
+            interp
+        )
+
+    def is_stable_model(self, interp: Interpretation) -> bool:
+        """Stable = assumption-free and not properly contained in another
+        assumption-free model (Definition 9)."""
+        if not self.is_assumption_free_model(interp):
+            return False
+        return all(
+            interp.literals == other.literals or not (interp.literals < other.literals)
+            for other in self.assumption_free_models()
+        )
+
+    def models(self, limit: Optional[int] = None) -> list[Interpretation]:
+        return self.enumerator.models(limit=limit)
+
+    def total_models(self) -> list[Interpretation]:
+        return self.enumerator.total_models()
+
+    def exhaustive_models(self) -> list[Interpretation]:
+        return self.enumerator.exhaustive_models()
+
+    def assumption_free_models(
+        self, limit: Optional[int] = None
+    ) -> list[Interpretation]:
+        return self.enumerator.assumption_free_models(limit=limit)
+
+    def stable_models(self) -> list[Interpretation]:
+        return self.enumerator.stable_models()
+
+    # ------------------------------------------------------------------
+    # Consequence relations over the stable models
+    # ------------------------------------------------------------------
+    def skeptical_consequences(self) -> Interpretation:
+        """The literals true in *every* stable model.
+
+        Always a superset of the least model (which is contained in
+        every AF model); the gap between the two measures how much the
+        maximality of stable models decides beyond pure derivation.
+        """
+        stable = self.stable_models()
+        literals = frozenset.intersection(*(m.literals for m in stable))
+        return Interpretation(literals, self.ground.base)
+
+    def credulous_consequences(self) -> Interpretation:
+        """The literals true in *some* stable model.
+
+        Note this union may be inconsistent as a set (different stable
+        models choose differently); it is returned as a raw frozenset
+        via :attr:`Interpretation.literals` semantics only when
+        consistent — otherwise use :meth:`credulous_literals`.
+        """
+        return Interpretation(self.credulous_literals(), self.ground.base)
+
+    def credulous_literals(self) -> frozenset[Literal]:
+        """The union of all stable models' literal sets (possibly
+        containing complementary pairs)."""
+        stable = self.stable_models()
+        result: frozenset[Literal] = frozenset()
+        for m in stable:
+            result |= m.literals
+        return result
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A short multi-line description of the component's meaning."""
+        lm = self.least_model
+        lines = [
+            f"component {self.component}: {len(self.ground.rules)} ground rules, "
+            f"base of {len(self.ground.base)} atoms",
+            f"least model ({len(lm)} literals): {lm}",
+            f"undefined atoms: {sorted(map(str, lm.undefined_atoms()))}",
+        ]
+        return "\n".join(lines)

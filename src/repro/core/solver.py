@@ -1,0 +1,256 @@
+"""Model enumeration for ground ordered programs.
+
+Enumerating models is exponential in the worst case (the paper notes
+that finding a total model is hard even for seminegative programs), so
+the enumerator is an explicit-budget backtracking search rather than a
+polynomial pretender:
+
+* :meth:`ModelEnumerator.models` — all Definition-3 models.  Branches
+  three ways (true / false / undefined) over every base atom, pruning
+  branches that already violate condition (a) restricted to decided
+  atoms.
+* :meth:`ModelEnumerator.assumption_free_models` — branches only over
+  *head* atoms: by Theorem 1(a) every literal of an assumption-free
+  model is the head of an applied rule, so atoms that head no rule are
+  necessarily undefined, and a sign is only tried when some rule
+  actually derives it.
+* :meth:`ModelEnumerator.stable_models` — the maximal assumption-free
+  models (Definition 9).
+
+Budgets are enforced up front (estimated leaf count) and during the
+search (visited leaves); exceeding either raises
+:class:`~repro.lang.errors.SearchBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..lang.errors import SearchBudgetExceeded
+from ..lang.literals import Atom, Literal
+from .assumptions import AssumptionAnalyzer
+from .interpretation import Interpretation
+from .models import ModelChecker
+from .statuses import StatusEvaluator
+from .transform import OrderedTransform
+
+__all__ = ["SearchBudget", "ModelEnumerator"]
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Limits for enumeration.
+
+    Attributes:
+        max_leaves: upper bound on the *estimated* number of leaves of
+            the search tree — refuse to start a search bigger than this.
+        max_visited: upper bound on leaves actually visited.
+    """
+
+    max_leaves: int = 50_000_000
+    max_visited: int = 5_000_000
+
+
+class ModelEnumerator:
+    """Backtracking enumeration over a fixed evaluator/base."""
+
+    def __init__(
+        self,
+        evaluator: StatusEvaluator,
+        base,
+        budget: SearchBudget = SearchBudget(),
+    ) -> None:
+        self._eval = evaluator
+        self._base = frozenset(base)
+        self._checker = ModelChecker(evaluator, self._base)
+        self._analyzer = AssumptionAnalyzer(evaluator, self._base)
+        self._budget = budget
+        self._least: Optional[Interpretation] = None
+
+    def _least_model(self) -> Interpretation:
+        """``V↑ω(∅)`` — by Theorem 1(b) it is contained in every model,
+        so its literals can be fixed up-front and the search branches
+        only over the atoms it leaves undefined."""
+        if self._least is None:
+            self._least = OrderedTransform(self._eval, self._base).least_fixpoint()
+        return self._least
+
+    # ------------------------------------------------------------------
+    # Raw interpretation space
+    # ------------------------------------------------------------------
+    def interpretations(self) -> Iterator[Interpretation]:
+        """Every interpretation over the base (3^n of them) — intended
+        for exhaustive property checks on small programs."""
+        atoms = sorted(self._base, key=str)
+        self._check_estimate(3 ** len(atoms))
+        yield from self._expand(atoms, 0, [])
+
+    def candidate_models(self) -> Iterator[Interpretation]:
+        """Every interpretation that *could* be a model: by Theorem 1(b)
+        all models contain the least model, so its literals are fixed
+        and only the atoms it leaves undefined are branched 3-ways."""
+        least = self._least_model()
+        atoms = sorted(least.undefined_atoms(), key=str)
+        self._check_estimate(3 ** len(atoms))
+        yield from self._expand(atoms, 0, list(least.literals))
+
+    def _expand(
+        self, atoms: list[Atom], index: int, chosen: list[Literal]
+    ) -> Iterator[Interpretation]:
+        if index == len(atoms):
+            yield Interpretation(chosen, self._base)
+            return
+        atom = atoms[index]
+        yield from self._expand(atoms, index + 1, chosen)
+        chosen.append(Literal(atom, True))
+        yield from self._expand(atoms, index + 1, chosen)
+        chosen[-1] = Literal(atom, False)
+        yield from self._expand(atoms, index + 1, chosen)
+        chosen.pop()
+
+    # ------------------------------------------------------------------
+    # Models (Definition 3)
+    # ------------------------------------------------------------------
+    def models(self, limit: Optional[int] = None) -> list[Interpretation]:
+        """All models for ``P`` in ``C`` (optionally at most ``limit``)."""
+        found: list[Interpretation] = []
+        visited = 0
+        for interp in self.candidate_models():
+            visited += 1
+            if visited > self._budget.max_visited:
+                raise SearchBudgetExceeded(
+                    f"model enumeration visited more than "
+                    f"{self._budget.max_visited} interpretations"
+                )
+            if self._checker.is_model(interp):
+                found.append(interp)
+                if limit is not None and len(found) >= limit:
+                    break
+        return found
+
+    def total_models(self) -> list[Interpretation]:
+        return [m for m in self.models() if m.is_total]
+
+    def exhaustive_models(self) -> list[Interpretation]:
+        """Models with no proper model superset (Definition 5b)."""
+        all_models = self.models()
+        literal_sets = [m.literals for m in all_models]
+        result = []
+        for m in all_models:
+            if not any(m.literals < other for other in literal_sets):
+                result.append(m)
+        return result
+
+    # ------------------------------------------------------------------
+    # Assumption-free and stable models
+    # ------------------------------------------------------------------
+    def _head_choices(self) -> list[tuple[Atom, list[Optional[Literal]]]]:
+        """Per-atom decision lists for AF-model search.
+
+        Three sound restrictions compose:
+
+        * only atoms *undefined in the least model* are branched
+          (Theorem 1(b) fixes the rest);
+        * a sign is only offered when it heads at least one ground rule
+          (every AF-model literal is the head of an applied rule,
+          Theorem 1(a));
+        * a sign is only offered when it lies in the literal closure of
+          *all* ground rules — an AF model is ``T↑ω`` of its enabled
+          rules, which is contained in ``T↑ω`` of all rules, so
+          literals outside that closure can never be T-supported.
+        """
+        from .assumptions import literal_closure
+
+        undecided = self._least_model().undefined_atoms()
+        possible = literal_closure(self._eval.rules)
+        positive_heads: set[Atom] = set()
+        negative_heads: set[Atom] = set()
+        for r in self._eval.rules:
+            if r.head.atom not in undecided:
+                continue
+            if r.head not in possible:
+                continue
+            if r.head.positive:
+                positive_heads.add(r.head.atom)
+            else:
+                negative_heads.add(r.head.atom)
+        choices = []
+        for atom in sorted(positive_heads | negative_heads, key=str):
+            options: list[Optional[Literal]] = [None]
+            if atom in positive_heads:
+                options.append(Literal(atom, True))
+            if atom in negative_heads:
+                options.append(Literal(atom, False))
+            choices.append((atom, options))
+        return choices
+
+    def assumption_free_models(
+        self, limit: Optional[int] = None
+    ) -> list[Interpretation]:
+        """All assumption-free models (Definition 7)."""
+        choices = self._head_choices()
+        estimate = 1
+        for _, options in choices:
+            estimate *= len(options)
+        self._check_estimate(estimate)
+        found: list[Interpretation] = []
+        visited = 0
+        seed = list(self._least_model().literals)
+
+        def recurse(index: int, chosen: list[Literal]) -> bool:
+            nonlocal visited
+            if index == len(choices):
+                visited += 1
+                if visited > self._budget.max_visited:
+                    raise SearchBudgetExceeded(
+                        f"AF-model search visited more than "
+                        f"{self._budget.max_visited} candidates"
+                    )
+                interp = Interpretation(chosen, self._base)
+                if self._checker.is_model(interp) and self._analyzer.is_assumption_free(
+                    interp
+                ):
+                    found.append(interp)
+                    if limit is not None and len(found) >= limit:
+                        return True
+                return False
+            for option in choices[index][1]:
+                if option is None:
+                    if recurse(index + 1, chosen):
+                        return True
+                else:
+                    chosen.append(option)
+                    if recurse(index + 1, chosen):
+                        return True
+                    chosen.pop()
+            return False
+
+        recurse(0, seed)
+        return found
+
+    def stable_models(self) -> list[Interpretation]:
+        """Maximal assumption-free models (Definition 9)."""
+        af_models = self.assumption_free_models()
+        literal_sets = [m.literals for m in af_models]
+        return [
+            m
+            for m in af_models
+            if not any(m.literals < other for other in literal_sets)
+        ]
+
+    def least_model_check(self, candidate: Interpretation) -> bool:
+        """True when ``candidate`` is contained in every model —
+        a direct (exponential) verification of Theorem 1(b)."""
+        return all(candidate.literals <= m.literals for m in self.models())
+
+    # ------------------------------------------------------------------
+    # Budget plumbing
+    # ------------------------------------------------------------------
+    def _check_estimate(self, estimate: int) -> None:
+        if estimate > self._budget.max_leaves:
+            raise SearchBudgetExceeded(
+                f"search tree has about {estimate} leaves, over the budget "
+                f"of {self._budget.max_leaves}; raise SearchBudget.max_leaves "
+                "if you really want this"
+            )

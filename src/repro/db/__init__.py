@@ -1,0 +1,9 @@
+"""The deductive-database substrate: relations, an extensional
+database, and a non-ground stratified semi-naive Datalog engine
+(Example 6's "parent is defined through a database relation")."""
+
+from .database import Database
+from .engine import DatalogEngine
+from .relation import Relation, RelationError
+
+__all__ = ["Relation", "RelationError", "Database", "DatalogEngine"]

@@ -1,0 +1,101 @@
+"""A small extensional database: named relations plus conversions to
+and from the logic side (facts, components)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from ..lang.literals import Literal
+from ..lang.program import Component
+from ..lang.rules import Rule
+from ..lang.terms import Term
+from .relation import Relation, RelationError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A mutable collection of extensional relations.
+
+    >>> db = Database()
+    >>> db.insert("parent", ("adam", "cain"))
+    >>> db.insert("parent", ("adam", "abel"))
+    >>> len(db.relation("parent"))
+    2
+    """
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------
+    # Schema and updates
+    # ------------------------------------------------------------------
+    def add_relation(self, relation: Relation) -> None:
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing.arity != relation.arity:
+            raise RelationError(
+                f"relation {relation.name!r} already has arity {existing.arity}"
+            )
+        if existing is None:
+            self._relations[relation.name] = relation
+        else:
+            self._relations[relation.name] = existing.union(relation)
+
+    def insert(self, name: str, row: Iterable[Union[Term, str, int]]) -> None:
+        """Insert one tuple, creating the relation on first use."""
+        row = tuple(row)
+        existing = self._relations.get(name)
+        if existing is None:
+            self._relations[name] = Relation(name, len(row), [row])
+        else:
+            self._relations[name] = existing.with_rows([row])
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationError(f"no relation named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(
+            self._relations[name] for name in sorted(self._relations)
+        )
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._relations)
+
+    # ------------------------------------------------------------------
+    # Bridges to the logic side
+    # ------------------------------------------------------------------
+    def facts(self) -> list[Rule]:
+        """Every tuple as a ground fact, deterministically ordered."""
+        result = []
+        for relation in self:
+            for atom in sorted(relation.atoms(), key=str):
+                result.append(Rule(Literal(atom, True), ()))
+        return result
+
+    def as_component(self, name: str = "edb") -> Component:
+        """The whole database as one component of facts."""
+        return Component(name, self.facts())
+
+    def copy(self) -> "Database":
+        """An independent copy (relations are immutable and shared)."""
+        clone = Database()
+        clone._relations = dict(self._relations)
+        return clone
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Rule]) -> "Database":
+        """Build a database from ground positive facts."""
+        db = cls()
+        for fact in facts:
+            if not fact.is_fact or not fact.head.positive or not fact.is_ground:
+                raise RelationError(f"not a ground positive fact: {fact}")
+            db.insert(fact.head.predicate, fact.head.args)
+        return db

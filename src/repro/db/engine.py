@@ -1,0 +1,279 @@
+"""A non-ground Datalog engine: stratified semi-naive evaluation.
+
+The grounder-based pipeline materialises every rule instance over the
+Herbrand universe — the only sound strategy for *ordered* programs (see
+DESIGN.md).  For the classical substrate, evaluation can instead join
+rules directly against relations: this engine implements the standard
+deductive-database algorithm — stratified, semi-naive, with comparison
+guards — and is the fast path for Example-6-style workloads (the
+``bench_datalog_engine`` benchmark measures the gap against
+ground-then-close evaluation).
+
+Supported programs: *safe, stratified* seminegative rules.  Safety:
+every variable of the head, of a guard, and of a negative body literal
+must occur in a positive body literal.  Negation is evaluated against
+the completed lower strata (the perfect-model semantics, [ABW]).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+from ..classical.stratified import stratification
+from ..grounding.substitution import Substitution, match_atom
+from ..lang.errors import UnsafeRuleError
+from ..lang.literals import Atom, Literal
+from ..lang.parser import parse_literal
+from ..lang.rules import Rule
+from ..lang.terms import Term, Variable
+from .database import Database
+from .relation import Relation, RelationError
+
+__all__ = ["DatalogEngine"]
+
+Row = tuple[Term, ...]
+
+
+def _check_safety(rules: Sequence[Rule]) -> None:
+    for r in rules:
+        if not r.head.positive:
+            raise UnsafeRuleError(f"the Datalog engine needs positive heads: {r}")
+        bound: set[Variable] = set()
+        for l in r.body_literals():
+            if l.positive:
+                bound |= l.variables()
+        unsafe = r.head.variables() - bound
+        if unsafe:
+            raise UnsafeRuleError(
+                f"unsafe rule (head variables {sorted(map(str, unsafe))} not "
+                f"bound by a positive body literal): {r}"
+            )
+        for l in r.body_literals():
+            if not l.positive and l.variables() - bound:
+                raise UnsafeRuleError(
+                    f"unsafe negative literal {l} in: {r}"
+                )
+        for guard in r.guards():
+            if guard.variables() - bound:
+                raise UnsafeRuleError(f"unsafe guard {guard} in: {r}")
+
+
+class _Store:
+    """Tuple storage with a first-argument hash index.
+
+    Join patterns almost always arrive with their first argument bound
+    (``anc(Z, Y)`` after ``parent(X, Z)`` matched), so candidate rows
+    are fetched by ``(signature, first value)`` instead of scanning the
+    whole relation."""
+
+    __slots__ = ("_all", "_by_first")
+
+    def __init__(self) -> None:
+        self._all: dict[tuple[str, int], set[Row]] = {}
+        self._by_first: dict[tuple[str, int, Term], set[Row]] = {}
+
+    def add(self, signature: tuple[str, int], row: Row) -> bool:
+        """Insert a row; returns True when it is new."""
+        bucket = self._all.setdefault(signature, set())
+        if row in bucket:
+            return False
+        bucket.add(row)
+        if row:
+            key = (signature[0], signature[1], row[0])
+            self._by_first.setdefault(key, set()).add(row)
+        return True
+
+    def rows(self, signature: tuple[str, int]) -> set[Row]:
+        return self._all.get(signature, set())
+
+    def contains(self, signature: tuple[str, int], row: Row) -> bool:
+        return row in self._all.get(signature, ())
+
+    def candidates(self, pattern: Atom) -> set[Row]:
+        """Rows that could match the pattern (first-arg indexed)."""
+        signature = pattern.signature
+        if pattern.args and pattern.args[0].is_ground:
+            key = (signature[0], signature[1], pattern.args[0])
+            return self._by_first.get(key, set())
+        return self._all.get(signature, set())
+
+    def items(self):
+        return self._all.items()
+
+
+class DatalogEngine:
+    """Bottom-up evaluation of a safe stratified program over an EDB.
+
+    >>> db = Database()
+    >>> db.insert("parent", ("adam", "cain"))
+    >>> db.insert("parent", ("cain", "enoch"))
+    >>> engine = DatalogEngine(parse_rules('''
+    ...     anc(X, Y) :- parent(X, Y).
+    ...     anc(X, Y) :- parent(X, Z), anc(Z, Y).
+    ... '''), db)
+    >>> engine.holds("anc(adam, enoch)")
+    True
+    """
+
+    def __init__(
+        self, rules: Sequence[Rule], database: Optional[Database] = None
+    ) -> None:
+        rules = tuple(rules)
+        _check_safety(rules)
+        self._strata = stratification(rules)
+        if self._strata is None:
+            raise UnsafeRuleError(
+                "the Datalog engine needs a stratified program"
+            )
+        self._rules = [r for r in rules if not (r.is_fact and r.is_ground)]
+        self._database = database.copy() if database is not None else Database()
+        for r in rules:
+            if r.is_fact and r.is_ground:
+                self._database.insert(r.head.predicate, r.head.args)
+        self._total: Optional[_Store] = None
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _tuples(self) -> _Store:
+        if self._total is None:
+            self._total = self._evaluate()
+        return self._total
+
+    def _evaluate(self) -> _Store:
+        total = _Store()
+        for relation in self._database:
+            for row in relation.rows:
+                total.add((relation.name, relation.arity), row)
+        strata = self._strata or {}
+        max_stratum = max(strata.values(), default=0)
+        for level in range(max_stratum + 1):
+            level_rules = [
+                r
+                for r in self._rules
+                if strata.get(r.head.predicate, 0) == level
+            ]
+            self._fixpoint(level_rules, total)
+        return total
+
+    def _fixpoint(self, rules: list[Rule], total: _Store) -> None:
+        """Semi-naive iteration of one stratum's rules over ``total``."""
+        # Seed: a full naive round establishes the initial delta.
+        delta: dict[tuple[str, int], set[Row]] = {}
+        for r in rules:
+            # Materialise before mutating total (solve iterates over it).
+            for row in list(self._fire(r, total, delta=None)):
+                if total.add(r.head.signature, row):
+                    delta.setdefault(r.head.signature, set()).add(row)
+        while delta:
+            new_delta: dict[tuple[str, int], set[Row]] = {}
+            for r in rules:
+                body = r.body_literals()
+                touches_delta = any(
+                    l.positive and l.signature in delta for l in body
+                )
+                if not touches_delta:
+                    continue
+                for row in list(self._fire(r, total, delta=delta)):
+                    if total.add(r.head.signature, row):
+                        new_delta.setdefault(r.head.signature, set()).add(row)
+            delta = new_delta
+
+    def _fire(
+        self,
+        r: Rule,
+        total: _Store,
+        delta: Optional[dict[tuple[str, int], set[Row]]],
+    ) -> Iterator[Row]:
+        """All head rows derivable by one rule.
+
+        With ``delta`` given, at least one positive body literal is
+        required to match a delta row (semi-naive restriction).
+        """
+        positives = [l for l in r.body_literals() if l.positive]
+        negatives = [l for l in r.body_literals() if not l.positive]
+        guards = r.guards()
+
+        def emit(theta: Substitution) -> Iterator[Row]:
+            for l in negatives:
+                atom = theta.apply_atom(l.atom)
+                if total.contains(atom.signature, atom.args):  # true -> blocked
+                    return
+            bindings = theta.as_dict()
+            for guard in guards:
+                try:
+                    if not guard.holds(bindings):
+                        return
+                except Exception:
+                    return  # unevaluable guard (symbolic order cmp): drop
+            yield theta.apply_atom(r.head.atom).args
+
+        def solve(
+            index: int, theta: Substitution, used_delta: bool
+        ) -> Iterator[Row]:
+            if index == len(positives):
+                if delta is None or used_delta:
+                    yield from emit(theta)
+                return
+            literal = positives[index]
+            pattern = theta.apply_atom(literal.atom)
+            for row in total.candidates(pattern):
+                bound = match_atom(pattern, Atom(pattern.predicate, row))
+                if bound is None:
+                    continue
+                is_delta_row = (
+                    delta is not None
+                    and row in delta.get(pattern.signature, ())
+                )
+                yield from solve(
+                    index + 1, theta.compose(bound), used_delta or is_delta_row
+                )
+
+        if not positives:
+            # Body is guards/negatives only; safety guarantees ground.
+            if delta is None:
+                yield from emit(Substitution())
+            return
+        yield from solve(0, Substitution(), False)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def relation(self, name: str, arity: int) -> Relation:
+        """The materialised relation for a predicate."""
+        rows = self._tuples().rows((name, arity))
+        return Relation(name, arity, rows)
+
+    def database(self) -> Database:
+        """Every materialised relation (EDB and IDB) as a database."""
+        result = Database()
+        for (name, arity), rows in sorted(self._tuples().items()):
+            result.add_relation(Relation(name, arity, rows))
+        return result
+
+    def atoms(self) -> frozenset[Atom]:
+        """All derived ground atoms."""
+        found: set[Atom] = set()
+        for (name, _arity), rows in self._tuples().items():
+            for row in rows:
+                found.add(Atom(name, row))
+        return frozenset(found)
+
+    def query(self, goal: Union[Literal, str]) -> list[Substitution]:
+        """Bindings of a positive goal pattern against the fixpoint."""
+        if isinstance(goal, str):
+            goal = parse_literal(goal)
+        if not goal.positive:
+            raise RelationError("Datalog queries are positive literals")
+        answers = []
+        for row in sorted(
+            self._tuples().rows(goal.signature), key=str
+        ):
+            theta = match_atom(goal.atom, Atom(goal.predicate, row))
+            if theta is not None:
+                answers.append(theta.restrict(goal.variables()))
+        return answers
+
+    def holds(self, goal: Union[Literal, str]) -> bool:
+        """Is a ground positive goal derivable?"""
+        return bool(self.query(goal))

@@ -1,0 +1,6 @@
+"""Explanations: derivation trees for the least model and per-rule
+failure analysis for everything it leaves out."""
+
+from .trace import Derivation, Explainer, NonDerivation, RuleFailure
+
+__all__ = ["Explainer", "Derivation", "NonDerivation", "RuleFailure"]

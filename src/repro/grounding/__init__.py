@@ -1,0 +1,20 @@
+"""Grounding: substitutions, Herbrand universe/base, rule instantiation."""
+
+from .grounder import Grounder, GroundingOptions, GroundProgram, GroundRule
+from .herbrand import HerbrandUniverse, herbrand_base, universe_of
+from .substitution import Substitution, match, match_atom, unify, unify_atoms
+
+__all__ = [
+    "Substitution",
+    "match",
+    "match_atom",
+    "unify",
+    "unify_atoms",
+    "HerbrandUniverse",
+    "herbrand_base",
+    "universe_of",
+    "Grounder",
+    "GroundingOptions",
+    "GroundProgram",
+    "GroundRule",
+]

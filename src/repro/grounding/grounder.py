@@ -1,0 +1,314 @@
+"""Grounding: from rules with variables to ground rule instances.
+
+``ground(C*)`` (Section 2) is the set of all ground instances of all
+rules a component sees.  Each instance remembers the component its rule
+came from — the paper's ``C(r)`` function ("if a rule occurs in more than
+one component then we assume that it has distinct ground instances so
+that C is actually a function from ground instances to components").
+
+**Why no relevance-based pruning.**  In ordered programs a rule can
+*defeat* or *overrule* another while being merely *non-blocked* — it need
+not be applicable (Definition 2).  A ground instance whose body atoms are
+underivable can therefore still change the meaning of a program, so the
+grounder must emit the full instantiation over the Herbrand universe.
+The only safe reductions, both applied here, are (a) evaluating
+comparison guards as soon as their variables are bound, dropping
+instances with false guards, and (b) deduplicating identical instances
+within a component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..lang.builtins import Comparison
+from ..lang.errors import GroundingError
+from ..lang.literals import Atom, Literal
+from ..lang.program import Component, OrderedProgram
+from ..lang.rules import Rule
+from ..lang.terms import Term, Variable
+from .herbrand import HerbrandUniverse, herbrand_base, universe_of
+from .substitution import Substitution
+
+__all__ = ["GroundRule", "GroundProgram", "GroundingOptions", "Grounder"]
+
+
+class GroundRule:
+    """A ground rule instance tagged with its source component.
+
+    Attributes:
+        head: ``H(r)`` — a ground literal.
+        body: ``B(r)`` — the ground body literals, as a frozenset (the
+            order is irrelevant to every definition in the paper; guards
+            have been evaluated away).
+        component: the paper's ``C(r)``: the name of the component whose
+            rule this instance came from.
+        origin: the non-ground rule this instance was produced from.
+    """
+
+    __slots__ = ("head", "body", "component", "origin", "_hash")
+
+    def __init__(
+        self,
+        head: Literal,
+        body: frozenset[Literal],
+        component: str,
+        origin: Optional[Rule] = None,
+    ) -> None:
+        if not head.is_ground:
+            raise ValueError(f"ground rule head must be ground: {head}")
+        body = frozenset(body)
+        for item in body:
+            if not item.is_ground:
+                raise ValueError(f"ground rule body must be ground: {item}")
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "component", component)
+        object.__setattr__(self, "origin", origin)
+        object.__setattr__(self, "_hash", hash(("gr", head, body, component)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("GroundRule is immutable")
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    @property
+    def is_seminegative(self) -> bool:
+        return self.head.positive
+
+    def atoms(self) -> frozenset[Atom]:
+        """All atoms mentioned by the rule (head and body)."""
+        return frozenset({self.head.atom, *(l.atom for l in self.body)})
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GroundRule)
+            and other._hash == self._hash
+            and other.head == self.head
+            and other.body == self.body
+            and other.component == self.component
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "GroundRule") -> bool:
+        if not isinstance(other, GroundRule):
+            return NotImplemented
+        return str(self) < str(other)
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"[{self.component}] {self.head}."
+        body = ", ".join(str(l) for l in sorted(self.body))
+        return f"[{self.component}] {self.head} :- {body}."
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"GroundRule({self})"
+
+
+@dataclass(frozen=True)
+class GroundProgram:
+    """The result of grounding: rules plus the Herbrand base they live in.
+
+    ``base`` is the set of ground *atoms* (the paper's ``B_P``);
+    interpretations are consistent subsets of ``base ∪ ¬base``.
+    """
+
+    rules: tuple[GroundRule, ...]
+    base: frozenset[Atom]
+    universe: HerbrandUniverse
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[GroundRule]:
+        return iter(self.rules)
+
+    def atoms_in_rules(self) -> frozenset[Atom]:
+        """Atoms actually mentioned by some rule (⊆ base)."""
+        found: set[Atom] = set()
+        for r in self.rules:
+            found |= r.atoms()
+        return frozenset(found)
+
+    def restricted_base(self) -> frozenset[Atom]:
+        """The base restricted to atoms mentioned by rules — a sound
+        optimisation for enumeration: atoms never mentioned can only be
+        undefined in any assumption-free model."""
+        return self.atoms_in_rules()
+
+
+@dataclass(frozen=True)
+class GroundingOptions:
+    """Knobs for the grounder.
+
+    Attributes:
+        max_depth: Herbrand-universe depth bound (needed iff the program
+            has function symbols).
+        instance_cap: abort with :class:`GroundingError` after this many
+            instances — an explicit failure beats an apparent hang.
+        full_base: when True (default) the ground program's ``base`` is
+            the full Herbrand base; when False it is restricted to atoms
+            mentioned by ground rules (sufficient for least/AF/stable
+            model computation, smaller for enumeration).
+    """
+
+    max_depth: Optional[int] = None
+    instance_cap: int = 5_000_000
+    full_base: bool = True
+
+
+class Grounder:
+    """Grounds components and ordered programs.
+
+    The grounder enumerates, per rule, all assignments of the rule's
+    variables to Herbrand-universe terms, evaluating comparison guards as
+    soon as their variables are bound (so ``X > Y + 2`` prunes the
+    enumeration early instead of filtering at the end).
+    """
+
+    def __init__(self, options: GroundingOptions = GroundingOptions()) -> None:
+        self.options = options
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def ground_component_star(
+        self, program: OrderedProgram, component: str
+    ) -> GroundProgram:
+        """Ground ``C*`` — the rules the component sees (Definition 1b).
+
+        The Herbrand universe and base are those of the negative program
+        ``C*`` itself, exactly as the paper defines interpretations "for
+        P in C" as interpretations of ``C*``.
+        """
+        visible = program.visible_rules(component)
+        star = Component("_star", tuple(r for _, r in visible))
+        universe = universe_of(star, max_depth=self.options.max_depth)
+        rules = self._ground_tagged(visible, universe)
+        base = self._base_for(star, universe, rules)
+        return GroundProgram(rules, base, universe)
+
+    def ground_rules(
+        self,
+        rules: Iterable[Rule],
+        component: str = "main",
+        universe: Optional[HerbrandUniverse] = None,
+    ) -> GroundProgram:
+        """Ground a plain rule set (a classical program) as one component."""
+        comp = Component(component, rules)
+        if universe is None:
+            universe = universe_of(comp, max_depth=self.options.max_depth)
+        tagged = tuple((component, r) for r in comp.rules)
+        ground = self._ground_tagged(tagged, universe)
+        base = self._base_for(comp, universe, ground)
+        return GroundProgram(ground, base, universe)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _base_for(
+        self,
+        source: Component,
+        universe: HerbrandUniverse,
+        rules: tuple[GroundRule, ...],
+    ) -> frozenset[Atom]:
+        if self.options.full_base:
+            return herbrand_base(source, universe=universe)
+        found: set[Atom] = set()
+        for r in rules:
+            found |= r.atoms()
+        return frozenset(found)
+
+    def _ground_tagged(
+        self,
+        tagged_rules: Sequence[tuple[str, Rule]],
+        universe: HerbrandUniverse,
+    ) -> tuple[GroundRule, ...]:
+        produced: list[GroundRule] = []
+        seen: set[GroundRule] = set()
+        count = 0
+        for component, r in tagged_rules:
+            for instance in self._instances(r, component, universe):
+                if instance in seen:
+                    continue
+                seen.add(instance)
+                produced.append(instance)
+                count += 1
+                if count > self.options.instance_cap:
+                    raise GroundingError(
+                        f"grounding exceeded instance cap {self.options.instance_cap}"
+                    )
+        return tuple(produced)
+
+    @staticmethod
+    def _guard_holds(guard: Comparison, bindings: dict[Variable, Term]) -> bool:
+        """Evaluate a guard; guards that cannot be evaluated (symbolic
+        operand, division by zero) are treated as false, so the instance
+        is dropped rather than the grounder crashing on e.g.
+        ``penguin > 11``."""
+        try:
+            return guard.holds(bindings)
+        except GroundingError:
+            return False
+
+    def _instances(
+        self, r: Rule, component: str, universe: HerbrandUniverse
+    ) -> Iterator[GroundRule]:
+        variables = sorted(r.variables(), key=str)
+        if not variables:
+            if all(self._guard_holds(guard, {}) for guard in r.guards()):
+                yield self._make_ground(r, Substitution(), component)
+            return
+        if not universe.terms:
+            # No ground terms exist: a rule with variables has no ground
+            # instances (the paper's HU is built from symbols in P).
+            return
+        # Evaluate each guard as soon as the last of its variables binds.
+        guard_trigger: dict[int, list[Comparison]] = {}
+        var_index = {v: i for i, v in enumerate(variables)}
+        for guard in r.guards():
+            last = max(var_index[v] for v in guard.variables()) if guard.variables() else -1
+            guard_trigger.setdefault(last, []).append(guard)
+        bindings: dict[Variable, Term] = {}
+        yield from self._assign(r, component, universe, variables, 0, bindings, guard_trigger)
+
+    def _assign(
+        self,
+        r: Rule,
+        component: str,
+        universe: HerbrandUniverse,
+        variables: list[Variable],
+        index: int,
+        bindings: dict[Variable, Term],
+        guard_trigger: dict[int, list[Comparison]],
+    ) -> Iterator[GroundRule]:
+        if index == len(variables):
+            for guard in guard_trigger.get(-1, ()):
+                if not self._guard_holds(guard, bindings):
+                    return
+            yield self._make_ground(r, Substitution(bindings), component)
+            return
+        v = variables[index]
+        for term in universe.terms:
+            bindings[v] = term
+            ok = True
+            for guard in guard_trigger.get(index, ()):
+                if not self._guard_holds(guard, bindings):
+                    ok = False
+                    break
+            if ok:
+                yield from self._assign(
+                    r, component, universe, variables, index + 1, bindings, guard_trigger
+                )
+        del bindings[v]
+
+    @staticmethod
+    def _make_ground(r: Rule, theta: Substitution, component: str) -> GroundRule:
+        head = theta.apply_literal(r.head)
+        body = frozenset(theta.apply_literal(l) for l in r.body_literals())
+        return GroundRule(head, body, component, origin=r)

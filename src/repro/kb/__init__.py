@@ -1,0 +1,8 @@
+"""Knowledge-base shell: objects, isa inheritance, defaults and
+exceptions, versioning, and query answering (cautious / skeptical /
+credulous)."""
+
+from .knowledge_base import KnowledgeBase
+from .query import Answer, QueryMode, evaluate_query
+
+__all__ = ["KnowledgeBase", "Answer", "QueryMode", "evaluate_query"]

@@ -1,0 +1,239 @@
+"""An object-oriented knowledge-base shell over ordered programs.
+
+Section 1 of the paper pitches ordered logic as "a novel attempt to
+combine the logic paradigm with the object-oriented one in knowledge
+base systems": components are *objects*, the ``<`` relation is an *isa*
+hierarchy carrying rule inheritance, local rules hide (overrule) global
+rules, and a most specific module doubles as a new *version* of a more
+general one (Section 5).
+
+:class:`KnowledgeBase` is the mutable builder exposing those
+abstractions:
+
+>>> kb = KnowledgeBase()
+>>> kb.define("bird", '''
+...     fly(X) :- bird_of(X).
+... ''')
+>>> kb.define("penguin", '''
+...     -fly(X) :- penguin_of(X).
+...     bird_of(X) :- penguin_of(X).
+... ''', isa=["bird"])
+>>> kb.tell("penguin", "penguin_of(tweety).")
+>>> kb.ask("penguin", "-fly(tweety)")
+True
+
+Every mutation invalidates the cached semantics; reads rebuild lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from ..core.interpretation import Interpretation, TruthValue
+from ..core.semantics import OrderedSemantics
+from ..core.solver import SearchBudget
+from ..grounding.grounder import GroundingOptions
+from ..lang.errors import SemanticsError
+from ..lang.literals import Literal
+from ..lang.parser import parse_rules
+from ..lang.poset import PartialOrder
+from ..lang.program import Component, OrderedProgram
+from ..lang.rules import Rule
+from .query import Answer, QueryMode, evaluate_query
+
+__all__ = ["KnowledgeBase"]
+
+
+class KnowledgeBase:
+    """A mutable collection of objects (components) with isa inheritance.
+
+    Terminology: ``child isa parent`` puts ``child < parent`` in the
+    order, so the child *sees and may overrule* the parent's rules.
+    """
+
+    def __init__(
+        self,
+        grounding: GroundingOptions = GroundingOptions(),
+        budget: SearchBudget = SearchBudget(),
+    ) -> None:
+        self._rules: dict[str, list[Rule]] = {}
+        self._pairs: set[tuple[str, str]] = set()
+        self._grounding = grounding
+        self._budget = budget
+        self._semantics_cache: dict[str, OrderedSemantics] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def define(
+        self,
+        name: str,
+        rules: Union[str, Iterable[Rule]] = (),
+        isa: Sequence[str] = (),
+    ) -> None:
+        """Create an object with optional rules and isa parents.
+
+        Raises:
+            SemanticsError: if the object already exists or a parent is
+                unknown.
+        """
+        if name in self._rules:
+            raise SemanticsError(f"object {name!r} already defined")
+        self._rules[name] = self._parse(rules)
+        for parent in isa:
+            self._link(name, parent)
+        if self.DEFAULTS_OBJECT in self._rules and name != self.DEFAULTS_OBJECT:
+            self._pairs.add((name, self.DEFAULTS_OBJECT))
+        self._invalidate()
+
+    def tell(self, name: str, rules: Union[str, Iterable[Rule]]) -> None:
+        """Add rules to an existing object."""
+        self._require(name)
+        self._rules[name].extend(self._parse(rules))
+        self._invalidate()
+
+    def isa(self, child: str, parent: str) -> None:
+        """Declare ``child < parent`` (child inherits from parent)."""
+        self._require(child)
+        self._link(child, parent)
+        self._invalidate()
+
+    def tell_facts(self, name: str, database) -> None:
+        """Load an extensional :class:`repro.db.Database` into an object
+        as ground facts (Example 6's "parent is defined through a
+        database relation")."""
+        self._require(name)
+        self._rules[name].extend(database.facts())
+        self._invalidate()
+
+    def derive(
+        self,
+        name: str,
+        parent: str,
+        rules: Union[str, Iterable[Rule]] = (),
+    ) -> None:
+        """Create a new *version* of ``parent``: a fresh most-specific
+        object below it (Section 5's versioning reading)."""
+        self.define(name, rules, isa=[parent])
+
+    # ------------------------------------------------------------------
+    # Negation conventions (Section 2's discussion after Example 4)
+    # ------------------------------------------------------------------
+    #: Name of the implicit defaults object holding closure assumptions.
+    DEFAULTS_OBJECT = "_defaults"
+
+    def assume_closed(
+        self, predicate: str, arity: int, negative: bool = True
+    ) -> None:
+        """Declare a closure assumption for one predicate.
+
+        The paper: "any assumption for deriving negative literals must
+        be explicitly declared".  Three conventions are available per
+        predicate:
+
+        * ``assume_closed(p, n)`` — classical CWA: ``¬p(X..)`` holds
+          unless overruled (the paper's situation (i));
+        * ``assume_closed(p, n, negative=False)`` — the dual: ``p(X..)``
+          holds unless overruled (situation (ii));
+        * no declaration — everything stays undefined unless explicitly
+          derived (situation (iii), the default).
+
+        The assumption lives in an implicit most-general object
+        ``_defaults`` placed above every user object, so every object's
+        local and inherited rules overrule it.
+        """
+        from ..lang.literals import Atom, Literal
+        from ..lang.terms import Variable
+
+        variables = tuple(Variable(f"X{i + 1}") for i in range(arity))
+        head = Literal(Atom(predicate, variables), not negative)
+        if self.DEFAULTS_OBJECT not in self._rules:
+            self._rules[self.DEFAULTS_OBJECT] = []
+        existing_objects = [
+            name for name in self._rules if name != self.DEFAULTS_OBJECT
+        ]
+        self._rules[self.DEFAULTS_OBJECT].append(Rule(head, ()))
+        for name in existing_objects:
+            pair = (name, self.DEFAULTS_OBJECT)
+            if pair not in self._pairs:
+                self._pairs.add(pair)
+        self._invalidate()
+
+    def _link(self, child: str, parent: str) -> None:
+        self._require(parent)
+        # Validate against cycles by building the order eagerly.
+        trial = PartialOrder(self._rules.keys(), self._pairs)
+        trial.add_pair(child, parent)
+        self._pairs.add((child, parent))
+
+    def _parse(self, rules: Union[str, Iterable[Rule]]) -> list[Rule]:
+        if isinstance(rules, str):
+            return parse_rules(rules)
+        return list(rules)
+
+    def _require(self, name: str) -> None:
+        if name not in self._rules:
+            raise SemanticsError(f"unknown object {name!r}")
+
+    def _invalidate(self) -> None:
+        self._semantics_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def objects(self) -> frozenset[str]:
+        return frozenset(self._rules)
+
+    def parents(self, name: str) -> frozenset[str]:
+        """Direct isa parents of an object."""
+        self._require(name)
+        return frozenset(high for low, high in self._pairs if low == name)
+
+    def program(self) -> OrderedProgram:
+        """A snapshot of the knowledge base as an ordered program."""
+        comps = [Component(name, rules) for name, rules in self._rules.items()]
+        return OrderedProgram(comps, self._pairs)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def view(self, name: str) -> OrderedSemantics:
+        """The semantics of the KB from one object's point of view."""
+        self._require(name)
+        cached = self._semantics_cache.get(name)
+        if cached is None:
+            cached = OrderedSemantics(
+                self.program(), name, grounding=self._grounding, budget=self._budget
+            )
+            self._semantics_cache[name] = cached
+        return cached
+
+    def ask(
+        self,
+        name: str,
+        literal: Union[Literal, str],
+        mode: Union[QueryMode, str] = QueryMode.CAUTIOUS,
+    ) -> bool:
+        """Is a ground literal entailed from an object's point of view?"""
+        answers = evaluate_query(self.view(name), literal, mode)
+        return bool(answers)
+
+    def value(self, name: str, literal: Union[Literal, str]) -> TruthValue:
+        """Truth value in the object's least model."""
+        return self.view(name).value(literal)
+
+    def query(
+        self,
+        name: str,
+        pattern: Union[Literal, str],
+        mode: Union[QueryMode, str] = QueryMode.CAUTIOUS,
+    ) -> list[Answer]:
+        """All bindings of a literal pattern entailed at an object."""
+        return evaluate_query(self.view(name), pattern, mode)
+
+    def least_model(self, name: str) -> Interpretation:
+        return self.view(name).least_model
+
+    def stable_models(self, name: str) -> list[Interpretation]:
+        return self.view(name).stable_models()

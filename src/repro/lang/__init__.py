@@ -1,0 +1,101 @@
+"""The ordered-logic language: terms, literals, rules, programs, parsing.
+
+This package defines the abstract syntax of Section 2 of the paper plus a
+concrete ``.olp`` surface syntax (lexer/parser/printer) and the strict
+partial order used for the component hierarchy.
+"""
+
+from .builtins import ArithExpr, BinaryOp, Comparison
+from .errors import (
+    GroundingError,
+    InconsistencyError,
+    LexerError,
+    OrderError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SearchBudgetExceeded,
+    SemanticsError,
+    UnsafeRuleError,
+)
+from .literals import (
+    Atom,
+    Literal,
+    complement_set,
+    is_consistent,
+    lit,
+    neg,
+    negative_part,
+    pos,
+    positive_part,
+)
+from .poset import PartialOrder
+from .program import Component, OrderedProgram
+from .rules import BodyItem, Rule, fact, rule
+from .transformations import flatten, merge, relabel, restrict
+from .terms import (
+    Compound,
+    Constant,
+    Term,
+    Variable,
+    compound,
+    const,
+    term_depth,
+    term_from_python,
+    term_size,
+    var,
+    walk_terms,
+)
+
+__all__ = [
+    # terms
+    "Term",
+    "Variable",
+    "Constant",
+    "Compound",
+    "var",
+    "const",
+    "compound",
+    "term_from_python",
+    "term_depth",
+    "term_size",
+    "walk_terms",
+    # literals
+    "Atom",
+    "Literal",
+    "pos",
+    "neg",
+    "lit",
+    "complement_set",
+    "is_consistent",
+    "positive_part",
+    "negative_part",
+    # rules
+    "Rule",
+    "BodyItem",
+    "rule",
+    "fact",
+    # builtins
+    "ArithExpr",
+    "BinaryOp",
+    "Comparison",
+    # programs
+    "Component",
+    "OrderedProgram",
+    "PartialOrder",
+    "flatten",
+    "restrict",
+    "merge",
+    "relabel",
+    # errors
+    "ReproError",
+    "ParseError",
+    "LexerError",
+    "OrderError",
+    "GroundingError",
+    "UnsafeRuleError",
+    "SemanticsError",
+    "InconsistencyError",
+    "SearchBudgetExceeded",
+    "QueryError",
+]

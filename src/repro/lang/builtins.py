@@ -1,0 +1,230 @@
+"""Built-in comparison guards over arithmetic expressions.
+
+Figure 3 of the paper uses bodies like ``inflation(X), X > 11`` and
+``inflation(X), loan_rate(Y), X > Y + 2``.  These guards are not literals
+— they never appear in interpretations — but conditions evaluated during
+grounding: a ground rule instance is kept only when all of its guards
+evaluate to true, and the guards are then dropped from the ground body.
+
+The expression language is integers, variables bound to integer
+constants, and the operators ``+ - * //`` (integer division, written
+``/`` in the surface syntax).  Comparison operators are
+``< <= > >= = !=``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Union
+
+from .errors import GroundingError
+from .terms import Constant, Term, Variable
+
+__all__ = [
+    "ArithExpr",
+    "BinaryOp",
+    "Comparison",
+    "COMPARISON_OPS",
+    "ARITHMETIC_OPS",
+    "evaluate_expr",
+    "expr_leaf_terms",
+]
+
+#: Comparison operator name -> implementation over ints.
+COMPARISON_OPS: Mapping[str, Callable[[int, int], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+#: Arithmetic operator name -> implementation over ints.
+ARITHMETIC_OPS: Mapping[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b,
+}
+
+#: An arithmetic expression is a term (integer constant or variable) or a
+#: binary operation over two expressions.
+ArithExpr = Union[Term, "BinaryOp"]
+
+
+class BinaryOp:
+    """A binary arithmetic operation ``left op right``."""
+
+    __slots__ = ("op", "left", "right", "_hash")
+
+    def __init__(self, op: str, left: ArithExpr, right: ArithExpr) -> None:
+        if op not in ARITHMETIC_OPS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "_hash", hash(("binop", op, left, right)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("BinaryOp is immutable")
+
+    def variables(self) -> frozenset[Variable]:
+        return _expr_variables(self.left) | _expr_variables(self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BinaryOp)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"{_render_operand(self.left)} {self.op} {_render_operand(self.right)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"BinaryOp({self})"
+
+
+def _render_operand(expr: ArithExpr) -> str:
+    if isinstance(expr, BinaryOp):
+        return f"({expr})"
+    return str(expr)
+
+
+def _expr_variables(expr: ArithExpr) -> frozenset[Variable]:
+    if isinstance(expr, BinaryOp):
+        return expr.variables()
+    if isinstance(expr, Term):
+        return expr.variables()
+    raise TypeError(f"not an arithmetic expression: {expr!r}")
+
+
+def evaluate_expr(expr: ArithExpr, bindings: Mapping[Variable, Term]) -> int:
+    """Evaluate an expression to an integer under variable bindings.
+
+    Raises:
+        GroundingError: if a variable is unbound, or an operand is not an
+            integer constant (symbolic constants cannot be compared
+            arithmetically).
+    """
+    if isinstance(expr, BinaryOp):
+        left = evaluate_expr(expr.left, bindings)
+        right = evaluate_expr(expr.right, bindings)
+        if expr.op == "/" and right == 0:
+            raise GroundingError(f"division by zero in guard expression {expr}")
+        return ARITHMETIC_OPS[expr.op](left, right)
+    if isinstance(expr, Variable):
+        bound = bindings.get(expr)
+        if bound is None:
+            raise GroundingError(f"unbound variable {expr} in guard expression")
+        return evaluate_expr(bound, bindings)
+    if isinstance(expr, Constant):
+        if not isinstance(expr.value, int):
+            raise GroundingError(
+                f"non-integer constant {expr} used in arithmetic comparison"
+            )
+        return expr.value
+    raise GroundingError(f"cannot evaluate {expr!r} arithmetically")
+
+
+def _equality_value(
+    expr: ArithExpr, bindings: Mapping[Variable, Term]
+) -> Union[int, Term]:
+    """The comparison key for ``=``/``!=``: an int when the side is
+    arithmetic, otherwise the ground substituted term."""
+    if isinstance(expr, BinaryOp):
+        return evaluate_expr(expr, bindings)
+    if isinstance(expr, Variable):
+        bound = bindings.get(expr)
+        if bound is None:
+            raise GroundingError(f"unbound variable {expr} in equality guard")
+        return _equality_value(bound, bindings)
+    if isinstance(expr, Constant):
+        if isinstance(expr.value, int):
+            return expr.value
+        return expr
+    if isinstance(expr, Term):
+        if not expr.is_ground:
+            raise GroundingError(f"non-ground term {expr} in equality guard")
+        return expr
+    raise GroundingError(f"cannot compare {expr!r}")
+
+
+def expr_leaf_terms(expr: ArithExpr) -> Iterator[Term]:
+    """All term leaves of an expression (constants and variables) —
+    guard constants occur in the program, so they belong to the Herbrand
+    universe."""
+    if isinstance(expr, BinaryOp):
+        yield from expr_leaf_terms(expr.left)
+        yield from expr_leaf_terms(expr.right)
+    elif isinstance(expr, Term):
+        yield expr
+    else:
+        raise TypeError(f"not an arithmetic expression: {expr!r}")
+
+
+class Comparison:
+    """A comparison guard ``left op right`` in a rule body.
+
+    Guards are immutable.  They are evaluated by the grounder once all of
+    their variables are bound; they never survive into ground rules.
+    """
+
+    __slots__ = ("op", "left", "right", "_hash")
+
+    def __init__(self, op: str, left: ArithExpr, right: ArithExpr) -> None:
+        if op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "_hash", hash(("cmp", op, left, right)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Comparison is immutable")
+
+    def variables(self) -> frozenset[Variable]:
+        return _expr_variables(self.left) | _expr_variables(self.right)
+
+    @property
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    def holds(self, bindings: Mapping[Variable, Term]) -> bool:
+        """Evaluate the guard under the given (total) bindings.
+
+        ``<``/``<=``/``>``/``>=`` require both sides to evaluate to
+        integers.  ``=``/``!=`` additionally accept arbitrary ground
+        terms, compared syntactically (Example 9 of the paper compares
+        colour constants with ``X != Y``); an integer never equals a
+        symbolic term.
+        """
+        if self.op in ("=", "!="):
+            left = _equality_value(self.left, bindings)
+            right = _equality_value(self.right, bindings)
+            equal = left == right
+            return equal if self.op == "=" else not equal
+        left_value = evaluate_expr(self.left, bindings)
+        right_value = evaluate_expr(self.right, bindings)
+        return COMPARISON_OPS[self.op](left_value, right_value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Comparison({self})"

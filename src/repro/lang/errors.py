@@ -1,0 +1,104 @@
+"""Exception hierarchy for the ordered logic programming library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors, grounding errors and semantic errors
+when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "LexerError",
+    "OrderError",
+    "GroundingError",
+    "UnsafeRuleError",
+    "SemanticsError",
+    "InconsistencyError",
+    "SearchBudgetExceeded",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class LexerError(ReproError):
+    """Raised when the lexer meets a character it cannot tokenize.
+
+    Attributes:
+        line: 1-based line of the offending character.
+        column: 1-based column of the offending character.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Raised when the parser meets an unexpected token.
+
+    Attributes:
+        line: 1-based line of the offending token.
+        column: 1-based column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class OrderError(ReproError):
+    """Raised for an ill-formed component order.
+
+    The ``<`` relation of an ordered program must be a strict partial
+    order: adding a pair that would create a cycle, or referring to an
+    unknown component, raises this error.
+    """
+
+
+class GroundingError(ReproError):
+    """Raised when a program cannot be grounded.
+
+    Typical causes: an unbounded Herbrand universe (function symbols
+    without a ``max_depth``), or a grounding blow-up beyond the configured
+    instance budget.
+    """
+
+
+class UnsafeRuleError(GroundingError):
+    """Raised in strict mode for a rule whose variables are not range
+    restricted (i.e. do not all occur in a positive body literal)."""
+
+
+class SemanticsError(ReproError):
+    """Raised for semantic-level misuse, e.g. asking for the meaning of a
+    component that does not exist in the program."""
+
+
+class InconsistencyError(SemanticsError):
+    """Raised when an operation requires a consistent literal set but the
+    given set contains a complementary pair ``A`` / ``¬A``."""
+
+
+class SearchBudgetExceeded(SemanticsError):
+    """Raised when model enumeration would exceed the configured search
+    budget (number of branch literals or visited nodes).
+
+    Enumerating models of ordered programs is exponential in the worst
+    case (the paper notes that finding a total model is hard even for
+    seminegative programs); the budget makes that explicit instead of
+    silently hanging.
+    """
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries against a knowledge base."""

@@ -1,0 +1,195 @@
+"""Strict partial orders over component names.
+
+The ``<`` relation among the components of an ordered program
+(Definition 1) must be a strict partial order.  :class:`PartialOrder`
+maintains its transitive closure incrementally, rejects cycles, and
+answers the three queries the semantics needs:
+
+* ``a < b`` — strictly below (``a`` is *more specific* than ``b``; in the
+  paper a component inherits the rules of every component *above* it);
+* ``a <= b`` — below or equal;
+* ``a <> b`` — incomparable (used by the *defeated* status).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, TypeVar
+
+from .errors import OrderError
+
+__all__ = ["PartialOrder"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class PartialOrder:
+    """A strict partial order over a finite set of elements.
+
+    Pairs are added with :meth:`add_pair`; the closure is maintained so
+    that :meth:`less` is O(1).  Elements may also be registered without
+    any order pair (isolated components are legal and common — Figure 3's
+    ``Expert2`` is incomparable to the other experts).
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[T] = (),
+        pairs: Iterable[tuple[T, T]] = (),
+    ) -> None:
+        self._elements: set[T] = set()
+        #: transitive closure: _below[a] = set of elements strictly above a
+        self._above: dict[T, set[T]] = {}
+        self._below: dict[T, set[T]] = {}
+        for element in elements:
+            self.add_element(element)
+        for low, high in pairs:
+            self.add_pair(low, high)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_element(self, element: T) -> None:
+        """Register an element (idempotent)."""
+        if element not in self._elements:
+            self._elements.add(element)
+            self._above[element] = set()
+            self._below[element] = set()
+
+    def add_pair(self, low: T, high: T) -> None:
+        """Record ``low < high``, extending the transitive closure.
+
+        Raises:
+            OrderError: if the pair is reflexive or would create a cycle.
+        """
+        if low == high:
+            raise OrderError(f"order must be irreflexive: {low!r} < {low!r}")
+        self.add_element(low)
+        self.add_element(high)
+        if low in self._above[high]:
+            raise OrderError(
+                f"adding {low!r} < {high!r} creates a cycle: {high!r} < {low!r} holds"
+            )
+        if high in self._above[low]:
+            return  # already known
+        # every x <= low is now below every y >= high
+        lows = self._below[low] | {low}
+        highs = self._above[high] | {high}
+        for x in lows:
+            for y in highs:
+                if x == y:
+                    raise OrderError(
+                        f"adding {low!r} < {high!r} creates a cycle through {x!r}"
+                    )
+                self._above[x].add(y)
+                self._below[y].add(x)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> frozenset[T]:
+        return frozenset(self._elements)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._elements)
+
+    def _require(self, element: T) -> None:
+        if element not in self._elements:
+            raise OrderError(f"unknown element {element!r}")
+
+    def less(self, a: T, b: T) -> bool:
+        """``a < b`` in the strict order (transitive closure)."""
+        self._require(a)
+        self._require(b)
+        return b in self._above[a]
+
+    def less_equal(self, a: T, b: T) -> bool:
+        """``a <= b``: equal or strictly below."""
+        return a == b or self.less(a, b)
+
+    def incomparable(self, a: T, b: T) -> bool:
+        """The paper's ``a <> b``: distinct and neither below the other."""
+        self._require(a)
+        self._require(b)
+        return a != b and b not in self._above[a] and a not in self._above[b]
+
+    def strictly_above(self, element: T) -> frozenset[T]:
+        """All elements strictly above ``element``."""
+        self._require(element)
+        return frozenset(self._above[element])
+
+    def upset(self, element: T) -> frozenset[T]:
+        """``{x | element <= x}`` — the components whose rules ``element``
+        sees (Definition 1(b): ``C*``)."""
+        self._require(element)
+        return frozenset(self._above[element]) | {element}
+
+    def downset(self, element: T) -> frozenset[T]:
+        """``{x | x <= element}``."""
+        self._require(element)
+        return frozenset(self._below[element]) | {element}
+
+    def pairs(self) -> frozenset[tuple[T, T]]:
+        """All ``(low, high)`` pairs of the transitive closure."""
+        return frozenset(
+            (low, high) for low in self._elements for high in self._above[low]
+        )
+
+    def covering_pairs(self) -> frozenset[tuple[T, T]]:
+        """The transitive reduction: pairs ``(low, high)`` with nothing
+        strictly between them.  Useful for printing Hasse diagrams."""
+        result = set()
+        for low in self._elements:
+            for high in self._above[low]:
+                if not any(
+                    mid in self._above[low] and high in self._above[mid]
+                    for mid in self._elements
+                ):
+                    result.add((low, high))
+        return frozenset(result)
+
+    def minimal_elements(self) -> frozenset[T]:
+        """Elements with nothing below them (the most specific ones)."""
+        return frozenset(e for e in self._elements if not self._below[e])
+
+    def maximal_elements(self) -> frozenset[T]:
+        """Elements with nothing above them (the most general ones)."""
+        return frozenset(e for e in self._elements if not self._above[e])
+
+    def topological(self) -> list[T]:
+        """Elements sorted from most general to most specific, ties broken
+        by string rendering for determinism."""
+        remaining = set(self._elements)
+        result: list[T] = []
+        while remaining:
+            roots = sorted(
+                (e for e in remaining if not (self._above[e] & remaining)),
+                key=str,
+            )
+            result.extend(roots)
+            remaining -= set(roots)
+        return result
+
+    def copy(self) -> "PartialOrder":
+        clone = PartialOrder()
+        clone._elements = set(self._elements)
+        clone._above = {k: set(v) for k, v in self._above.items()}
+        clone._below = {k: set(v) for k, v in self._below.items()}
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PartialOrder)
+            and other._elements == self._elements
+            and other._above == self._above
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        pairs = ", ".join(f"{a!r}<{b!r}" for a, b in sorted(self.pairs(), key=str))
+        return f"PartialOrder({sorted(self._elements, key=str)!r}, [{pairs}])"

@@ -1,0 +1,41 @@
+"""Pretty-printer: render programs back to parseable ``.olp`` source.
+
+``parse_program(render_program(p))`` is equivalent to ``p`` — the
+round-trip property is part of the test-suite.  Rules and literals use
+the same ``str`` renderings as their classes; this module adds the
+program-level layout (component blocks and order declarations).
+"""
+
+from __future__ import annotations
+
+from .program import Component, OrderedProgram
+from .rules import Rule
+
+__all__ = ["render_rule", "render_component", "render_program"]
+
+
+def render_rule(r: Rule, indent: str = "") -> str:
+    """One rule as source text."""
+    return f"{indent}{r}"
+
+
+def render_component(comp: Component, indent: str = "  ") -> str:
+    """A component block as source text."""
+    lines = [f"component {comp.name} {{"]
+    lines.extend(render_rule(r, indent) for r in comp.rules)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_program(program: OrderedProgram) -> str:
+    """A whole ordered program as source text.
+
+    Components are emitted most-general-first; the order relation is
+    emitted as its transitive reduction (one ``order`` line per covering
+    pair), which parses back to the same transitive closure.
+    """
+    parts = [render_component(program.component(name))
+             for name in program.order.topological()]
+    for low, high in sorted(program.order.covering_pairs()):
+        parts.append(f"order {low} < {high}.")
+    return "\n\n".join(parts) + "\n"

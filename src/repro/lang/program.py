@@ -1,0 +1,327 @@
+"""Programs: components and ordered programs (Definition 1).
+
+* :class:`Component` — a named *negative program*: a finite set of rules,
+  possibly with negated heads.  It doubles as the representation of the
+  paper's classical programs (a seminegative program is a component whose
+  rules all have positive heads).
+* :class:`OrderedProgram` — a finite partially ordered set of components.
+  ``C_i < C_j`` means ``C_i`` is *more specific* than ``C_j``; every
+  component sees its own rules as local rules and the rules of the
+  components above it as global (inherited) rules.  ``C*`` (the rules a
+  component sees) is :meth:`OrderedProgram.visible_rules`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Union
+
+from .builtins import expr_leaf_terms
+from .errors import SemanticsError
+from .literals import Literal
+from .poset import PartialOrder
+from .rules import Rule
+from .terms import Compound, Constant, Term, walk_terms
+
+__all__ = ["Component", "OrderedProgram"]
+
+
+class Component:
+    """A named negative program — a finite sequence of rules.
+
+    Rules keep their textual order (useful for printing) but compare as a
+    multiset: two components with the same rules are equal.  Components
+    are immutable; :meth:`extend` returns a new component.
+    """
+
+    __slots__ = ("name", "rules", "_hash")
+
+    def __init__(self, name: str, rules: Iterable[Rule] = ()) -> None:
+        if not name:
+            raise ValueError("component name must be non-empty")
+        rules = tuple(rules)
+        for r in rules:
+            if not isinstance(r, Rule):
+                raise TypeError(f"component rules must be Rule, got {r!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "rules", rules)
+        object.__setattr__(self, "_hash", hash(("component", name, frozenset(rules))))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Component is immutable")
+
+    # ------------------------------------------------------------------
+    # Classification (paper Section 2)
+    # ------------------------------------------------------------------
+    @property
+    def is_positive(self) -> bool:
+        """True when every rule is a Horn clause."""
+        return all(r.is_positive for r in self.rules)
+
+    @property
+    def is_seminegative(self) -> bool:
+        """True when every rule has a positive head."""
+        return all(r.is_seminegative for r in self.rules)
+
+    @property
+    def is_ground(self) -> bool:
+        return all(r.is_ground for r in self.rules)
+
+    # ------------------------------------------------------------------
+    # Symbol inventories
+    # ------------------------------------------------------------------
+    def predicate_signatures(self) -> frozenset[tuple[str, int]]:
+        """All ``(predicate, arity)`` pairs occurring in the component."""
+        sigs = set()
+        for r in self.rules:
+            sigs.add(r.head.signature)
+            for item in r.body_literals():
+                sigs.add(item.signature)
+        return frozenset(sigs)
+
+    def constants(self) -> frozenset[Constant]:
+        """All constants occurring in the component's rules."""
+        found: set[Constant] = set()
+        for term in self._all_terms():
+            for sub in walk_terms(term):
+                if isinstance(sub, Constant):
+                    found.add(sub)
+        return frozenset(found)
+
+    def function_symbols(self) -> frozenset[tuple[str, int]]:
+        """All ``(functor, arity)`` pairs occurring in the component."""
+        found: set[tuple[str, int]] = set()
+        for term in self._all_terms():
+            for sub in walk_terms(term):
+                if isinstance(sub, Compound):
+                    found.add((sub.functor, sub.arity))
+        return frozenset(found)
+
+    def _all_terms(self) -> Iterator[Term]:
+        for r in self.rules:
+            yield from r.head.args
+            for item in r.body_literals():
+                yield from item.args
+            # Guard constants (``X > 11``) occur in the program, so they
+            # belong to the Herbrand universe.
+            for guard in r.guards():
+                yield from expr_leaf_terms(guard.left)
+                yield from expr_leaf_terms(guard.right)
+
+    def head_literals(self) -> frozenset[Literal]:
+        """The set of (possibly non-ground) head literals."""
+        return frozenset(r.head for r in self.rules)
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+    def extend(self, extra: Iterable[Rule], name: Union[str, None] = None) -> "Component":
+        """A new component with ``extra`` rules appended."""
+        return Component(name or self.name, self.rules + tuple(extra))
+
+    def renamed(self, name: str) -> "Component":
+        return Component(name, self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __contains__(self, r: object) -> bool:
+        return r in self.rules
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Component)
+            and other.name == self.name
+            and frozenset(other.rules) == frozenset(self.rules)
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        body = "\n".join(f"  {r}" for r in self.rules)
+        return f"component {self.name} {{\n{body}\n}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Component({self.name!r}, {len(self.rules)} rules)"
+
+
+class OrderedProgram:
+    """An ordered program ``P = <C, <>`` (Definition 1).
+
+    Args:
+        components: the components, either as :class:`Component` objects
+            or as a mapping ``name -> iterable of rules``.
+        order: pairs ``(low, high)`` asserting ``low < high`` — *low
+            inherits from high*.  The transitive closure is taken; cycles
+            raise :class:`~repro.lang.errors.OrderError`.
+    """
+
+    __slots__ = ("_components", "_order")
+
+    def __init__(
+        self,
+        components: Union[Iterable[Component], Mapping[str, Iterable[Rule]]],
+        order: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        comps: dict[str, Component] = {}
+        if isinstance(components, Mapping):
+            for name, rules in components.items():
+                comps[name] = Component(name, rules)
+        else:
+            for comp in components:
+                if not isinstance(comp, Component):
+                    raise TypeError(f"expected Component, got {comp!r}")
+                if comp.name in comps:
+                    raise SemanticsError(f"duplicate component name {comp.name!r}")
+                comps[comp.name] = comp
+        poset: PartialOrder = PartialOrder(comps.keys())
+        for low, high in order:
+            if low not in comps:
+                raise SemanticsError(f"order refers to unknown component {low!r}")
+            if high not in comps:
+                raise SemanticsError(f"order refers to unknown component {high!r}")
+            poset.add_pair(low, high)
+        object.__setattr__(self, "_components", comps)
+        object.__setattr__(self, "_order", poset)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("OrderedProgram is immutable")
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, rules: Iterable[Rule], name: str = "main") -> "OrderedProgram":
+        """An ordered program with one component and an empty order —
+        the paper's flattened programs such as ``P̂1`` in Example 2."""
+        return cls([Component(name, rules)])
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> PartialOrder:
+        """The ``<`` relation (a strict partial order over names)."""
+        return self._order
+
+    @property
+    def component_names(self) -> frozenset[str]:
+        return frozenset(self._components)
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise SemanticsError(f"no component named {name!r}") from None
+
+    def components(self) -> tuple[Component, ...]:
+        """All components, most general first (deterministic order)."""
+        return tuple(self._components[n] for n in self._order.topological())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    # ------------------------------------------------------------------
+    # Visibility (Definition 1b)
+    # ------------------------------------------------------------------
+    def visible_components(self, name: str) -> tuple[Component, ...]:
+        """The components whose rules ``name`` sees: itself plus every
+        component above it, most general first."""
+        self.component(name)
+        upset = self._order.upset(name)
+        return tuple(
+            self._components[n] for n in self._order.topological() if n in upset
+        )
+
+    def visible_rules(self, name: str) -> tuple[tuple[str, Rule], ...]:
+        """``C*`` tagged with provenance: ``(component name, rule)`` pairs
+        for every rule the component sees."""
+        return tuple(
+            (comp.name, r)
+            for comp in self.visible_components(name)
+            for r in comp.rules
+        )
+
+    # ------------------------------------------------------------------
+    # Classification and inventories (aggregated over all components)
+    # ------------------------------------------------------------------
+    @property
+    def is_seminegative(self) -> bool:
+        return all(c.is_seminegative for c in self._components.values())
+
+    @property
+    def is_positive(self) -> bool:
+        return all(c.is_positive for c in self._components.values())
+
+    @property
+    def is_ground(self) -> bool:
+        return all(c.is_ground for c in self._components.values())
+
+    def predicate_signatures(self) -> frozenset[tuple[str, int]]:
+        sigs: frozenset[tuple[str, int]] = frozenset()
+        for comp in self._components.values():
+            sigs |= comp.predicate_signatures()
+        return sigs
+
+    def constants(self) -> frozenset[Constant]:
+        found: frozenset[Constant] = frozenset()
+        for comp in self._components.values():
+            found |= comp.constants()
+        return found
+
+    def function_symbols(self) -> frozenset[tuple[str, int]]:
+        found: frozenset[tuple[str, int]] = frozenset()
+        for comp in self._components.values():
+            found |= comp.function_symbols()
+        return found
+
+    def rule_count(self) -> int:
+        return sum(len(c) for c in self._components.values())
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+    def with_component(
+        self,
+        comp: Component,
+        below: Iterable[str] = (),
+        above: Iterable[str] = (),
+    ) -> "OrderedProgram":
+        """A new program with ``comp`` added (or replaced), ordered below
+        the components in ``below`` and above those in ``above``."""
+        comps = dict(self._components)
+        comps[comp.name] = comp
+        pairs = set()
+        for low, high in self._order.pairs():
+            pairs.add((low, high))
+        for high in below:
+            pairs.add((comp.name, high))
+        for low in above:
+            pairs.add((low, comp.name))
+        return OrderedProgram(list(comps.values()), pairs)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, OrderedProgram)
+            and other._components == self._components
+            and other._order == self._order
+        )
+
+    def __str__(self) -> str:
+        parts = [str(self._components[n]) for n in self._order.topological()]
+        pairs = sorted(self._order.covering_pairs())
+        for low, high in pairs:
+            parts.append(f"order {low} < {high}.")
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"OrderedProgram({sorted(self._components)}, "
+            f"{sorted(self._order.covering_pairs())})"
+        )

@@ -1,0 +1,249 @@
+"""Terms of the language (Section 2 of the paper).
+
+A *term* is recursively defined as a variable, a constant, or
+``f(t1, ..., tn)`` where ``t1 .. tn`` are terms and ``f`` is a function
+symbol.  Terms are immutable, hashable values; structural equality is used
+everywhere (two syntactically equal terms are interchangeable).
+
+The three concrete classes are:
+
+* :class:`Variable` — a logical variable (``X``, ``Rate``).
+* :class:`Constant` — a symbolic constant (``penguin``) or an integer
+  (``12``; Figure 3 of the paper compares integer-valued arguments).
+* :class:`Compound` — a function application ``f(t1, ..., tn)``.
+
+Helper constructors :func:`var`, :func:`const` and :func:`compound` keep
+client code short, and :func:`term_from_python` converts plain Python
+values (str/int) into terms using the parser's conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "Compound",
+    "var",
+    "const",
+    "compound",
+    "term_from_python",
+    "term_depth",
+    "term_size",
+    "walk_terms",
+]
+
+
+class Term:
+    """Abstract base class for terms.
+
+    Subclasses are immutable and hashable.  The class exposes the small
+    set of queries the rest of the system needs: groundness, the set of
+    variables, and rendering.
+    """
+
+    __slots__ = ()
+
+    @property
+    def is_ground(self) -> bool:
+        """True when the term contains no variables."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset["Variable"]:
+        """The set of variables occurring in the term."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"{type(self).__name__}({self})"
+
+
+class Variable(Term):
+    """A logical variable, identified by name.
+
+    Names conventionally start with an uppercase letter or ``_`` (the
+    parser enforces this; the API does not).
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("var", name)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Variable is immutable")
+
+    @property
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> frozenset["Variable"]:
+        return frozenset((self,))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Constant(Term):
+    """A constant: either a symbol (``str``) or an integer.
+
+    Integers participate in the arithmetic comparisons of rule bodies
+    (``X > Y + 2`` in Figure 3); symbols are inert.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: Union[str, int]) -> None:
+        if not isinstance(value, (str, int)) or isinstance(value, bool):
+            raise TypeError(f"constant value must be str or int, got {value!r}")
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("const", value)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Constant is immutable")
+
+    @property
+    def is_ground(self) -> bool:
+        return True
+
+    @property
+    def is_integer(self) -> bool:
+        """True when the constant is an integer (usable in arithmetic)."""
+        return isinstance(self.value, int)
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Compound(Term):
+    """A function application ``f(t1, ..., tn)`` with ``n >= 1``.
+
+    Zero-arity applications are represented as :class:`Constant`, matching
+    the paper's grammar where the Herbrand universe is built from
+    constants and function symbols.
+    """
+
+    __slots__ = ("functor", "args", "_hash", "_ground")
+
+    def __init__(self, functor: str, args: tuple[Term, ...]) -> None:
+        if not functor:
+            raise ValueError("functor must be non-empty")
+        args = tuple(args)
+        if not args:
+            raise ValueError("compound term needs at least one argument; use Constant")
+        for arg in args:
+            if not isinstance(arg, Term):
+                raise TypeError(f"compound argument must be a Term, got {arg!r}")
+        object.__setattr__(self, "functor", functor)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash(("compound", functor, args)))
+        object.__setattr__(self, "_ground", all(a.is_ground for a in args))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Compound is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def is_ground(self) -> bool:
+        return self._ground
+
+    def variables(self) -> frozenset[Variable]:
+        result: frozenset[Variable] = frozenset()
+        for arg in self.args:
+            result |= arg.variables()
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Compound)
+            and other._hash == self._hash
+            and other.functor == self.functor
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.functor}({inner})"
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor for :class:`Variable`."""
+    return Variable(name)
+
+
+def const(value: Union[str, int]) -> Constant:
+    """Shorthand constructor for :class:`Constant`."""
+    return Constant(value)
+
+
+def compound(functor: str, *args: Term) -> Compound:
+    """Shorthand constructor for :class:`Compound`."""
+    return Compound(functor, tuple(args))
+
+
+def term_from_python(value: Union[Term, str, int]) -> Term:
+    """Convert a plain Python value into a term.
+
+    Strings beginning with an uppercase letter or ``_`` become variables
+    (the parser's convention); all other strings and all integers become
+    constants.  Terms pass through unchanged.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid term values")
+    if isinstance(value, int):
+        return Constant(value)
+    if isinstance(value, str):
+        if value and (value[0].isupper() or value[0] == "_"):
+            return Variable(value)
+        return Constant(value)
+    raise TypeError(f"cannot convert {value!r} to a term")
+
+
+def term_depth(term: Term) -> int:
+    """Nesting depth of a term: constants and variables have depth 0,
+    ``f(t1..tn)`` has depth ``1 + max(depth(ti))``."""
+    if isinstance(term, Compound):
+        return 1 + max(term_depth(a) for a in term.args)
+    return 0
+
+
+def term_size(term: Term) -> int:
+    """Number of symbol occurrences in a term."""
+    if isinstance(term, Compound):
+        return 1 + sum(term_size(a) for a in term.args)
+    return 1
+
+
+def walk_terms(term: Term) -> Iterator[Term]:
+    """Yield the term and all of its subterms, outermost first."""
+    yield term
+    if isinstance(term, Compound):
+        for arg in term.args:
+            yield from walk_terms(arg)

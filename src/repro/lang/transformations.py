@@ -1,0 +1,105 @@
+"""Structural transformations of ordered programs.
+
+* :func:`flatten` — Example 2's construction: merge every component
+  into one, *changing the meaning* (overruling between components
+  becomes mutual defeat inside the single component — the paper's
+  ``P̂1`` demonstration that the hierarchy is semantically load-bearing).
+* :func:`restrict` — the sub-program a component actually sees:
+  ``C*`` as a standalone ordered program (meaning-preserving for that
+  component).
+* :func:`merge` — disjoint union of two ordered programs, with
+  optional extra order pairs connecting them (how a knowledge base
+  adopts a library of modules).
+* :func:`relabel` — rename components consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .errors import SemanticsError
+from .program import Component, OrderedProgram
+
+__all__ = ["flatten", "restrict", "merge", "relabel"]
+
+
+def flatten(program: OrderedProgram, name: str = "flat") -> OrderedProgram:
+    """All rules in a single component with an empty order.
+
+    This is *not* meaning-preserving: rules that used to overrule each
+    other now defeat each other (Example 2: ``fly(penguin)`` goes from
+    false in ``P1``'s ``c1`` to undefined in ``P̂1``).  Duplicated rules
+    collapse (a component is a set of rules).
+    """
+    rules = [r for comp in program.components() for r in comp.rules]
+    return OrderedProgram.single(rules, name=name)
+
+
+def restrict(program: OrderedProgram, component: str) -> OrderedProgram:
+    """The ordered program ``C*``: the component plus everything above
+    it, with the order restricted accordingly.
+
+    Meaning-preserving for ``component`` (Definition 1(b): its
+    interpretations and models are those of ``C*``), and for every
+    surviving component (their upsets are unchanged).
+    """
+    if component not in program:
+        raise SemanticsError(f"no component named {component!r}")
+    keep = program.order.upset(component)
+    components = [
+        comp for comp in program.components() if comp.name in keep
+    ]
+    pairs = [
+        (low, high)
+        for low, high in program.order.pairs()
+        if low in keep and high in keep
+    ]
+    return OrderedProgram(components, pairs)
+
+
+def merge(
+    first: OrderedProgram,
+    second: OrderedProgram,
+    extra_order: Iterable[tuple[str, str]] = (),
+) -> OrderedProgram:
+    """The union of two ordered programs with disjoint component names.
+
+    ``extra_order`` may relate components across (or within) the two;
+    cycles are rejected as usual.
+
+    Raises:
+        SemanticsError: if the name sets overlap.
+    """
+    overlap = first.component_names & second.component_names
+    if overlap:
+        raise SemanticsError(
+            f"component names overlap: {sorted(overlap)}; relabel first"
+        )
+    components = list(first.components()) + list(second.components())
+    pairs = list(first.order.pairs()) + list(second.order.pairs())
+    pairs.extend(extra_order)
+    return OrderedProgram(components, pairs)
+
+
+def relabel(
+    program: OrderedProgram, mapping: Mapping[str, str]
+) -> OrderedProgram:
+    """Rename components; names missing from the mapping are kept.
+
+    Raises:
+        SemanticsError: if the renaming collides.
+    """
+    new_names = {
+        name: mapping.get(name, name) for name in program.component_names
+    }
+    if len(set(new_names.values())) != len(new_names):
+        raise SemanticsError(f"relabelling collides: {mapping}")
+    components = [
+        Component(new_names[comp.name], comp.rules)
+        for comp in program.components()
+    ]
+    pairs = [
+        (new_names[low], new_names[high])
+        for low, high in program.order.pairs()
+    ]
+    return OrderedProgram(components, pairs)

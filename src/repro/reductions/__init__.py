@@ -1,0 +1,35 @@
+"""Reductions between classical programs and ordered programs:
+``OV`` (Section 3), ``EV`` (Section 3), ``3V`` (Section 4) and the
+direct Definition-11 semantics of negative programs."""
+
+from .direct import (
+    direct_assumption_free_models,
+    direct_greatest_assumption_set,
+    direct_models,
+    direct_stable_models,
+    has_exception,
+    is_direct_assumption_free,
+    is_direct_model,
+    is_direct_model_as_printed,
+)
+from .extended_version import extended_version, reflexive_rules
+from .ordered_version import ReducedProgram, cwa_component, cwa_rules, ordered_version
+from .three_level import three_level_version
+
+__all__ = [
+    "ReducedProgram",
+    "cwa_rules",
+    "cwa_component",
+    "ordered_version",
+    "reflexive_rules",
+    "extended_version",
+    "three_level_version",
+    "has_exception",
+    "is_direct_model",
+    "is_direct_model_as_printed",
+    "direct_greatest_assumption_set",
+    "is_direct_assumption_free",
+    "direct_models",
+    "direct_assumption_free_models",
+    "direct_stable_models",
+]

@@ -1,0 +1,58 @@
+"""The extended version ``EV(C)`` (Section 3, after Example 7).
+
+``EV(C)`` is ``OV(C)`` with a *reflexive rule* ``A <- A`` added to the
+component ``C`` for every base element ``A`` — written in the reduced
+non-ground form ``p(X1, ..., Xn) <- p(X1, ..., Xn)`` per predicate.
+
+The reflexive rules let a positive literal "confirm itself" against the
+CWA default, so that *every* 3-valued model of ``C`` becomes a model of
+``EV(C)`` in ``C`` (Proposition 5a) — Example 7's ``{p}`` being the
+witness that ``OV`` alone is too strict.  Assumption-free and stable
+models are unaffected (Proposition 5b–d): a reflexive rule can never
+ground anything, it only shields.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..lang.literals import Atom, Literal
+from ..lang.program import Component, OrderedProgram
+from ..lang.rules import Rule
+from ..lang.terms import Variable
+from .ordered_version import (
+    CWA_COMPONENT,
+    PROGRAM_COMPONENT,
+    ReducedProgram,
+    cwa_component,
+)
+
+__all__ = ["reflexive_rules", "extended_version"]
+
+
+def reflexive_rules(signatures: Iterable[tuple[str, int]]) -> list[Rule]:
+    """One ``p(X..) <- p(X..)`` rule per predicate signature."""
+    rules = []
+    for predicate, arity in sorted(signatures):
+        variables = tuple(Variable(f"X{i + 1}") for i in range(arity))
+        atom = Atom(predicate, variables)
+        rules.append(Rule(Literal(atom, True), (Literal(atom, True),)))
+    return rules
+
+
+def extended_version(
+    rules: Sequence[Rule],
+    component: str = PROGRAM_COMPONENT,
+    cwa_name: str = CWA_COMPONENT,
+) -> ReducedProgram:
+    """``EV(C)``: ``OV(C)`` plus the reflexive rules in ``C``."""
+    signatures = Component("_sig", rules).predicate_signatures()
+    extended = tuple(rules) + tuple(reflexive_rules(signatures))
+    program = OrderedProgram(
+        [
+            Component(component, extended),
+            cwa_component(rules, cwa_name),
+        ],
+        [(component, cwa_name)],
+    )
+    return ReducedProgram(program, component)

@@ -1,0 +1,96 @@
+"""The ordered version ``OV(C)`` of a classical program (Section 3).
+
+``OV(C) = <{¬B_C, C}, {C < ¬B_C}>``: the program ``C`` placed below a
+component holding the *explicit* closed-world assumption — "every
+element of the Herbrand base is false unless its truth is proved".
+Instead of one fact per base element, the CWA component holds one
+non-ground rule ``¬p(X1, ..., Xn)`` per predicate symbol, so the size of
+``OV(C)`` is polynomially bounded in the size of ``C`` (the paper's
+remark after the definition).
+
+Propositions 3–4 and Corollary 1 relate the models of ``OV(C)`` in ``C``
+to the 3-valued / founded / stable models of ``C``; the property tests
+verify all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.semantics import OrderedSemantics
+from ..core.solver import SearchBudget
+from ..grounding.grounder import GroundingOptions
+from ..lang.literals import Atom, Literal
+from ..lang.program import Component, OrderedProgram
+from ..lang.rules import Rule
+from ..lang.terms import Variable
+
+__all__ = ["ReducedProgram", "cwa_rules", "cwa_component", "ordered_version"]
+
+#: Default component names used by the reductions.
+PROGRAM_COMPONENT = "c"
+CWA_COMPONENT = "cwa"
+
+
+@dataclass(frozen=True)
+class ReducedProgram:
+    """An ordered program produced by a reduction, together with the
+    component whose meaning defines the semantics of the source."""
+
+    program: OrderedProgram
+    component: str
+
+    def semantics(
+        self,
+        grounding: GroundingOptions = GroundingOptions(),
+        budget: SearchBudget = SearchBudget(),
+    ) -> OrderedSemantics:
+        """An :class:`OrderedSemantics` view at the designated component."""
+        return OrderedSemantics(
+            self.program, self.component, grounding=grounding, budget=budget
+        )
+
+
+def _signatures(rules: Iterable[Rule]) -> frozenset[tuple[str, int]]:
+    return Component("_sig", rules).predicate_signatures()
+
+
+def cwa_rules(signatures: Iterable[tuple[str, int]]) -> list[Rule]:
+    """One ``¬p(X1, ..., Xn).`` rule per predicate signature — the
+    reduced (non-ground) form of ``¬B_C``."""
+    rules = []
+    for predicate, arity in sorted(signatures):
+        variables = tuple(Variable(f"X{i + 1}") for i in range(arity))
+        rules.append(Rule(Literal(Atom(predicate, variables), False), ()))
+    return rules
+
+
+def cwa_component(
+    rules: Iterable[Rule], name: str = CWA_COMPONENT
+) -> Component:
+    """The CWA component ``¬B_C`` for a program's signatures."""
+    return Component(name, cwa_rules(_signatures(rules)))
+
+
+def ordered_version(
+    rules: Sequence[Rule],
+    component: str = PROGRAM_COMPONENT,
+    cwa_name: str = CWA_COMPONENT,
+) -> ReducedProgram:
+    """``OV(C)``: the program below its explicit CWA component.
+
+    Args:
+        rules: the classical program ``C`` (typically seminegative; the
+            construction itself accepts any negative program).
+        component: name to give ``C``'s component.
+        cwa_name: name to give the CWA component.
+    """
+    program = OrderedProgram(
+        [
+            Component(component, rules),
+            cwa_component(rules, cwa_name),
+        ],
+        [(component, cwa_name)],
+    )
+    return ReducedProgram(program, component)

@@ -1,0 +1,237 @@
+"""JSON serialization of programs, interpretations and results.
+
+The ``.olp`` surface syntax is the human format; this module provides a
+lossless structured format for toolchains (saving reproduction
+artifacts, diffing models, shipping programs between processes).
+
+Schema (stable, versioned by ``FORMAT_VERSION``):
+
+* term — ``{"var": name}`` | ``{"const": str|int}`` |
+  ``{"fn": name, "args": [term, ...]}``
+* literal — ``{"pred": name, "args": [term, ...], "positive": bool}``
+* expr — term | ``{"binop": op, "left": expr, "right": expr}``
+* body item — literal | ``{"cmp": op, "left": expr, "right": expr}``
+* rule — ``{"head": literal, "body": [item, ...]}``
+* program — ``{"format": N, "components": {name: [rule, ...]},
+  "order": [[low, high], ...]}``
+* interpretation — ``{"literals": [literal, ...],
+  "base": [literal, ...]}`` (base entries are positive literals
+  standing for atoms)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from .core.interpretation import Interpretation
+from .lang.builtins import ArithExpr, BinaryOp, Comparison
+from .lang.errors import ReproError
+from .lang.literals import Atom, Literal
+from .lang.program import Component, OrderedProgram
+from .lang.rules import BodyItem, Rule
+from .lang.terms import Compound, Constant, Term, Variable
+
+__all__ = [
+    "FORMAT_VERSION",
+    "term_to_dict",
+    "term_from_dict",
+    "literal_to_dict",
+    "literal_from_dict",
+    "rule_to_dict",
+    "rule_from_dict",
+    "program_to_dict",
+    "program_from_dict",
+    "interpretation_to_dict",
+    "interpretation_from_dict",
+    "dumps_program",
+    "loads_program",
+]
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Raised for malformed serialized data."""
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+def term_to_dict(term: Term) -> dict[str, Any]:
+    if isinstance(term, Variable):
+        return {"var": term.name}
+    if isinstance(term, Constant):
+        return {"const": term.value}
+    if isinstance(term, Compound):
+        return {"fn": term.functor, "args": [term_to_dict(a) for a in term.args]}
+    raise SerializationError(f"not a term: {term!r}")
+
+
+def term_from_dict(data: dict[str, Any]) -> Term:
+    if not isinstance(data, dict):
+        raise SerializationError(f"term must be an object, got {data!r}")
+    if "var" in data:
+        return Variable(data["var"])
+    if "const" in data:
+        return Constant(data["const"])
+    if "fn" in data:
+        return Compound(
+            data["fn"], tuple(term_from_dict(a) for a in data.get("args", []))
+        )
+    raise SerializationError(f"unknown term shape: {data!r}")
+
+
+# ----------------------------------------------------------------------
+# Literals
+# ----------------------------------------------------------------------
+
+def literal_to_dict(literal: Literal) -> dict[str, Any]:
+    return {
+        "pred": literal.predicate,
+        "args": [term_to_dict(a) for a in literal.args],
+        "positive": literal.positive,
+    }
+
+
+def literal_from_dict(data: dict[str, Any]) -> Literal:
+    try:
+        atom = Atom(
+            data["pred"], tuple(term_from_dict(a) for a in data.get("args", []))
+        )
+        return Literal(atom, bool(data.get("positive", True)))
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"bad literal {data!r}: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# Expressions, guards, rules
+# ----------------------------------------------------------------------
+
+def _expr_to_dict(expr: ArithExpr) -> dict[str, Any]:
+    if isinstance(expr, BinaryOp):
+        return {
+            "binop": expr.op,
+            "left": _expr_to_dict(expr.left),
+            "right": _expr_to_dict(expr.right),
+        }
+    return term_to_dict(expr)
+
+
+def _expr_from_dict(data: dict[str, Any]) -> ArithExpr:
+    if isinstance(data, dict) and "binop" in data:
+        return BinaryOp(
+            data["binop"],
+            _expr_from_dict(data["left"]),
+            _expr_from_dict(data["right"]),
+        )
+    return term_from_dict(data)
+
+
+def _body_item_to_dict(item: BodyItem) -> dict[str, Any]:
+    if isinstance(item, Comparison):
+        return {
+            "cmp": item.op,
+            "left": _expr_to_dict(item.left),
+            "right": _expr_to_dict(item.right),
+        }
+    return literal_to_dict(item)
+
+
+def _body_item_from_dict(data: dict[str, Any]) -> BodyItem:
+    if isinstance(data, dict) and "cmp" in data:
+        return Comparison(
+            data["cmp"], _expr_from_dict(data["left"]), _expr_from_dict(data["right"])
+        )
+    return literal_from_dict(data)
+
+
+def rule_to_dict(r: Rule) -> dict[str, Any]:
+    return {
+        "head": literal_to_dict(r.head),
+        "body": [_body_item_to_dict(item) for item in r.body],
+    }
+
+
+def rule_from_dict(data: dict[str, Any]) -> Rule:
+    try:
+        return Rule(
+            literal_from_dict(data["head"]),
+            tuple(_body_item_from_dict(item) for item in data.get("body", [])),
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"bad rule {data!r}: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+
+def program_to_dict(program: OrderedProgram) -> dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "components": {
+            comp.name: [rule_to_dict(r) for r in comp.rules]
+            for comp in program.components()
+        },
+        "order": sorted(
+            [list(pair) for pair in program.order.covering_pairs()]
+        ),
+    }
+
+
+def program_from_dict(data: dict[str, Any]) -> OrderedProgram:
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    try:
+        components = [
+            Component(name, [rule_from_dict(r) for r in rules])
+            for name, rules in data["components"].items()
+        ]
+        order = [tuple(pair) for pair in data.get("order", [])]
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"bad program payload: {error}") from error
+    return OrderedProgram(components, order)
+
+
+def dumps_program(program: OrderedProgram, indent: Union[int, None] = 2) -> str:
+    """Serialize a program to a JSON string."""
+    return json.dumps(program_to_dict(program), indent=indent, sort_keys=True)
+
+
+def loads_program(text: str) -> OrderedProgram:
+    """Parse a program from its JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return program_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Interpretations
+# ----------------------------------------------------------------------
+
+def interpretation_to_dict(interp: Interpretation) -> dict[str, Any]:
+    return {
+        "literals": [literal_to_dict(l) for l in sorted(interp.literals)],
+        "base": [
+            literal_to_dict(Literal(atom, True))
+            for atom in sorted(interp.base, key=str)
+        ],
+    }
+
+
+def interpretation_from_dict(data: dict[str, Any]) -> Interpretation:
+    try:
+        literals = [literal_from_dict(l) for l in data.get("literals", [])]
+        base = frozenset(
+            literal_from_dict(l).atom for l in data.get("base", [])
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"bad interpretation payload: {error}") from error
+    return Interpretation(literals, base or None)

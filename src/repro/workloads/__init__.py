@@ -1,0 +1,34 @@
+"""Workload generators: the paper's programs, scalable hierarchies,
+classic deductive-database programs, and seeded random programs."""
+
+from . import classic, experts, hierarchies, paper, random_programs
+from .classic import ancestor_chain, even_odd, two_stable, win_move
+from .experts import contradicting_panel, expert_panel
+from .hierarchies import diamond, override_chain, taxonomy
+from .random_programs import (
+    random_negative_rules,
+    random_ordered_program,
+    random_rules,
+    random_seminegative_rules,
+)
+
+__all__ = [
+    "paper",
+    "classic",
+    "experts",
+    "hierarchies",
+    "random_programs",
+    "expert_panel",
+    "contradicting_panel",
+    "ancestor_chain",
+    "win_move",
+    "even_odd",
+    "two_stable",
+    "override_chain",
+    "diamond",
+    "taxonomy",
+    "random_rules",
+    "random_seminegative_rules",
+    "random_negative_rules",
+    "random_ordered_program",
+]

@@ -1,0 +1,77 @@
+"""Classic deductive-database workloads for the Section-3 machinery.
+
+* :func:`ancestor_chain` — Example 6's ancestor program over a linear
+  ``parent`` chain (for ``OV`` / least-model scaling);
+* :func:`win_move` — the win–move game, the canonical well-founded
+  workload: over a linear move graph the win/lose pattern alternates
+  and a trailing cycle leaves positions undefined;
+* :func:`even_odd` — mutual recursion through negation (stratified);
+* :func:`two_stable` — ``n`` independent choice pairs, giving ``2^n``
+  stable models (stable-enumeration scaling).
+"""
+
+from __future__ import annotations
+
+from ..lang.parser import parse_rules
+from ..lang.rules import Rule
+
+__all__ = ["ancestor_chain", "win_move", "even_odd", "two_stable"]
+
+
+def ancestor_chain(length: int) -> list[Rule]:
+    """Ancestor over a chain ``p0 -> p1 -> ... -> p<length>``."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    lines = [f"parent(p{i}, p{i + 1})." for i in range(length)]
+    lines.append("anc(X, Y) :- parent(X, Y).")
+    lines.append("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+    return parse_rules("\n".join(lines))
+
+
+def win_move(
+    chain: int, cycle: int = 0
+) -> list[Rule]:
+    """The win–move game: ``win(X) <- move(X, Y), ¬win(Y)``.
+
+    A linear chain of ``chain`` moves ends in a sink (losing position),
+    so chain positions alternate won/lost from the sink backwards; an
+    optional *disjoint* cycle of length ``cycle`` leaves its positions
+    undefined under the well-founded semantics (the classic partiality
+    witness).
+    """
+    if chain < 1:
+        raise ValueError("chain must be positive")
+    lines = [f"move(n{i}, n{i + 1})." for i in range(chain)]
+    if cycle:
+        members = [f"m{i}" for i in range(cycle)]
+        lines += [
+            f"move({members[i]}, {members[(i + 1) % cycle]})."
+            for i in range(cycle)
+        ]
+    lines.append("win(X) :- move(X, Y), -win(Y).")
+    return parse_rules("\n".join(lines))
+
+
+def even_odd(limit: int) -> list[Rule]:
+    """Even/odd over a successor chain — a 2-stratum stratified program:
+    ``even(X) <- succ(Y, X), ¬even(Y)`` with ``even(z0)``."""
+    if limit < 1:
+        raise ValueError("limit must be positive")
+    lines = [f"succ(z{i}, z{i + 1})." for i in range(limit)]
+    lines.append("even(z0).")
+    lines.append("odd(X) :- succ(Y, X), even(Y).")
+    lines.append("even(X) :- succ(Y, X), odd(Y).")
+    return parse_rules("\n".join(lines))
+
+
+def two_stable(n_pairs: int) -> list[Rule]:
+    """``n`` independent pairs ``a_i <- ¬b_i;  b_i <- ¬a_i`` — the
+    program with ``2^n`` (total) stable models and a fully undefined
+    well-founded model."""
+    if n_pairs < 1:
+        raise ValueError("n_pairs must be positive")
+    lines = []
+    for i in range(n_pairs):
+        lines.append(f"a{i} :- -b{i}.")
+        lines.append(f"b{i} :- -a{i}.")
+    return parse_rules("\n".join(lines))

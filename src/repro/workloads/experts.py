@@ -1,0 +1,73 @@
+"""Expert-panel workloads: Figure 3 generalised.
+
+``expert_panel(n_chains, chain_length)`` builds a ``myself`` component
+consulting ``n_chains`` independent chains of experts.  Within a chain,
+each expert refines (sits below) the previous one and flips the
+conclusion about its chain's topic; across chains the experts are
+incomparable.  The meaning at ``myself``:
+
+* within a chain, the **most specific** expert's verdict wins
+  (overruling at depth — the Expert3/Expert4 pattern);
+* the topic of a chain is decided iff the chain exists; independent
+  chains never interfere (their literals are about different topics).
+
+A second generator, :func:`contradicting_panel`, makes all chains argue
+about the *same* topic, producing defeat across chains unless exactly
+one chain survives.
+"""
+
+from __future__ import annotations
+
+from ..lang.parser import parse_rules
+from ..lang.program import Component, OrderedProgram
+
+__all__ = ["expert_panel", "contradicting_panel"]
+
+
+def expert_panel(n_chains: int, chain_length: int) -> OrderedProgram:
+    """Independent refinement chains over per-chain topics.
+
+    Chain ``i`` has experts ``e_i_0 < e_i_1 < ... < e_i_{L-1}`` (0 most
+    specific).  Expert ``j`` asserts ``verdict(t_i)`` when ``L - 1 - j``
+    is even and ``-verdict(t_i)`` otherwise, so the *top* expert always
+    asserts positively and each refinement flips it; the most specific
+    expert's sign is positive iff ``chain_length`` is odd.
+    """
+    if n_chains < 1 or chain_length < 1:
+        raise ValueError("n_chains and chain_length must be positive")
+    components = [Component("myself", parse_rules(
+        "\n".join(f"topic(t{i})." for i in range(n_chains))
+    ))]
+    pairs = []
+    for i in range(n_chains):
+        for j in range(chain_length):
+            sign = "" if (chain_length - 1 - j) % 2 == 0 else "-"
+            name = f"e{i}_{j}"
+            components.append(
+                Component(name, parse_rules(f"{sign}verdict(t{i}) :- topic(t{i})."))
+            )
+            if j + 1 < chain_length:
+                pairs.append((name, f"e{i}_{j + 1}"))
+        pairs.append(("myself", f"e{i}_0"))
+    return OrderedProgram(components, pairs)
+
+
+def contradicting_panel(n_experts: int, topic: str = "go") -> OrderedProgram:
+    """``n_experts`` incomparable experts alternating about one topic.
+
+    Expert ``i`` asserts ``verdict(go)`` when ``i`` is even and its
+    negation otherwise.  With ``n_experts >= 2`` the verdict is defeated
+    at ``myself``; with one expert it holds.
+    """
+    if n_experts < 1:
+        raise ValueError("n_experts must be positive")
+    components = [Component("myself", parse_rules(f"topic({topic})."))]
+    pairs = []
+    for i in range(n_experts):
+        sign = "" if i % 2 == 0 else "-"
+        name = f"expert{i}"
+        components.append(
+            Component(name, parse_rules(f"{sign}verdict({topic}) :- topic({topic})."))
+        )
+        pairs.append(("myself", name))
+    return OrderedProgram(components, pairs)

@@ -1,0 +1,55 @@
+"""Unit tests for the conflict graph."""
+
+from repro.analysis.conflicts import ConflictKind, conflict_summary, find_conflicts
+from repro.core.semantics import OrderedSemantics
+from repro.workloads.paper import figure1, figure1_flat, figure2
+
+
+class TestFigure1:
+    def test_conflicts_are_overrulings(self):
+        sem = OrderedSemantics(figure1(), "c1")
+        conflicts = list(find_conflicts(sem.ground.rules, sem.evaluator.order))
+        assert conflicts
+        assert all(c.kind is ConflictKind.OVERRULE for c in conflicts)
+
+    def test_winner_is_more_specific(self):
+        sem = OrderedSemantics(figure1(), "c1")
+        for c in find_conflicts(sem.ground.rules, sem.evaluator.order):
+            assert sem.evaluator.order.strictly_below(
+                c.first.component, c.second.component
+            )
+
+    def test_summary_counts(self):
+        summary = conflict_summary(OrderedSemantics(figure1(), "c1"))
+        # fly/-fly over two constants, plus the ground_animal(penguin)
+        # fact against its -ground_animal instance.
+        assert summary["overrule"] == 3
+        assert summary["defeat"] == 0
+
+
+class TestFlattenedAndDefeats:
+    def test_flattening_turns_overrules_into_defeats(self):
+        sem = OrderedSemantics(figure1_flat(), "c")
+        summary = conflict_summary(sem)
+        assert summary["overrule"] == 0
+        assert summary["defeat"] == 3
+
+    def test_figure2_defeats(self):
+        sem = OrderedSemantics(figure2(), "c1")
+        summary = conflict_summary(sem)
+        assert summary["defeat"] == 2  # rich/-rich and poor/-poor
+        assert summary["overrule"] == 0
+
+    def test_defeat_pairs_deduplicated(self):
+        sem = OrderedSemantics(figure2(), "c1")
+        conflicts = [
+            c
+            for c in find_conflicts(sem.ground.rules, sem.evaluator.order)
+            if c.kind is ConflictKind.DEFEAT
+        ]
+        keys = {(str(c.first), str(c.second)) for c in conflicts}
+        assert len(keys) == len(conflicts)
+
+    def test_no_conflicts_in_upper_component(self):
+        sem = OrderedSemantics(figure2(), "c2")
+        assert conflict_summary(sem) == {"overrule": 0, "defeat": 0}

@@ -1,0 +1,49 @@
+"""Unit tests for the Hasse-diagram renderer."""
+
+from repro.analysis.hasse import hasse_layers, render_hasse
+from repro.lang.poset import PartialOrder
+from repro.workloads.hierarchies import diamond
+from repro.workloads.paper import figure1, figure3
+
+
+class TestLayers:
+    def test_figure1(self):
+        layers = hasse_layers(figure1().order)
+        assert layers == [["c2"], ["c1"]]
+
+    def test_diamond(self):
+        layers = hasse_layers(diamond(1).order)
+        assert layers == [["top"], ["left", "right"], ["bottom"]]
+
+    def test_figure3_mixed_heights(self):
+        layers = hasse_layers(figure3(()).order)
+        # c2 and c4 are maximal; c3 sits below c4; c1 at the bottom.
+        assert layers[0] == ["c2", "c4"]
+        assert layers[1] == ["c3"]
+        assert layers[2] == ["c1"]
+
+    def test_empty(self):
+        assert hasse_layers(PartialOrder()) == []
+
+    def test_antichain(self):
+        layers = hasse_layers(PartialOrder(["a", "b", "c"]))
+        assert layers == [["a", "b", "c"]]
+
+
+class TestRendering:
+    def test_edges_rendered(self):
+        text = render_hasse(figure1())
+        assert "[c2]" in text
+        assert "c1 --> c2" in text
+
+    def test_transitive_edges_omitted(self):
+        po = PartialOrder(pairs=[("a", "b"), ("b", "c"), ("a", "c")])
+        text = render_hasse(po)
+        assert "a --> b" in text and "b --> c" in text
+        assert "a --> c" not in text
+
+    def test_empty_program(self):
+        assert render_hasse(PartialOrder()) == "(empty hierarchy)"
+
+    def test_deterministic(self):
+        assert render_hasse(diamond(1)) == render_hasse(diamond(1))

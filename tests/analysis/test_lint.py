@@ -1,0 +1,122 @@
+"""Unit tests for the closure-gap linter."""
+
+import pytest
+
+from repro.analysis.lint import lint_component, lint_program
+from repro.core.semantics import OrderedSemantics
+from repro.lang.parser import parse_program
+from repro.workloads.paper import figure1, figure3
+
+BROKEN_TAXONOMY = """
+component general {
+    fly(X) :- bird(X).
+    bird(tweety).
+    bird(opus).
+}
+component specific {
+    -fly(X) :- penguin(X).
+    penguin(opus).
+}
+order specific < general.
+"""
+
+FIXED_TAXONOMY = """
+component general {
+    fly(X) :- bird(X).
+    -penguin(X) :- bird(X).
+    bird(tweety).
+    bird(opus).
+}
+component specific {
+    -fly(X) :- penguin(X).
+    penguin(opus).
+}
+order specific < general.
+"""
+
+
+class TestClosureGapDetection:
+    def test_broken_taxonomy_flagged(self):
+        program = parse_program(BROKEN_TAXONOMY)
+        findings = lint_program(program, aggregate=False)
+        assert findings
+        assert all(f.kind == "permanently-overruled" for f in findings)
+        suppressed = {str(f.rule.head) for f in findings}
+        assert "fly(tweety)" in suppressed
+
+    def test_aggregation_keeps_one_per_rule_pair(self):
+        program = parse_program(BROKEN_TAXONOMY)
+        full = lint_program(program, aggregate=False)
+        aggregated = lint_program(program)
+        assert len(aggregated) == 1  # one (fly-rule, -fly-rule) pair
+        assert len(full) == 2  # one instance per bird
+
+    def test_fix_hint_names_the_closure(self):
+        program = parse_program(BROKEN_TAXONOMY)
+        (finding, *_) = [
+            f
+            for f in lint_program(program, aggregate=False)
+            if str(f.rule.head) == "fly(tweety)"
+        ]
+        rendered = str(finding)
+        assert "-penguin(tweety)" in rendered
+        assert "closure" in rendered
+
+    def test_fixed_taxonomy_clean_for_tweety(self):
+        program = parse_program(FIXED_TAXONOMY)
+        suppressed = {str(f.rule.head) for f in lint_program(program)}
+        assert "fly(tweety)" not in suppressed
+
+    def test_semantics_confirms_the_lint(self):
+        broken = OrderedSemantics(parse_program(BROKEN_TAXONOMY), "specific")
+        fixed = OrderedSemantics(parse_program(FIXED_TAXONOMY), "specific")
+        assert broken.undefined("fly(tweety)")
+        assert fixed.holds("fly(tweety)")
+
+
+class TestKnownPrograms:
+    def test_figure1_is_clean(self):
+        assert lint_program(figure1()) == []
+
+    def test_figure3_flags_the_loan_defeats(self):
+        # The reproduction finding of EXPERIMENTS.md §1/F3: Expert4 is
+        # permanently overruled and Expert2/Expert4 permanently defeat
+        # each other through never-blockable instances.
+        program = figure3(("inflation(19).", "loan_rate(16)."))
+        findings = lint_program(program)
+        kinds = {f.kind for f in findings}
+        assert "permanently-overruled" in kinds
+        assert "permanently-defeated" in kinds
+        overruled_heads = {
+            str(f.rule.head)
+            for f in findings
+            if f.kind == "permanently-overruled"
+        }
+        assert "-take_loan" in overruled_heads
+
+    def test_fact_witnesses_are_deliberate(self):
+        # Contradicting *facts* in incomparable components are the
+        # paper's intended defeat pattern (Figure 2), not a lint.
+        program = parse_program(
+            "component a { p. } component b { -p. } order c < a. order c < b. component c {}"
+        )
+        assert lint_program(program) == []
+
+    def test_conditional_defeat_is_flagged(self):
+        program = parse_program(
+            """
+            component a { p. }
+            component b { -p :- q. }
+            component c {}
+            order c < a.  order c < b.
+            """
+        )
+        findings = lint_program(program)
+        assert any(f.kind == "permanently-defeated" for f in findings)
+
+
+class TestComponentScope:
+    def test_upper_component_unaffected(self):
+        program = parse_program(BROKEN_TAXONOMY)
+        sem = OrderedSemantics(program, "general")
+        assert list(lint_component(sem)) == []

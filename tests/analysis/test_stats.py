@@ -1,0 +1,50 @@
+"""Unit tests for program statistics and the paper's size measure."""
+
+from repro.analysis.stats import program_size, program_stats
+from repro.lang.parser import parse_program, parse_rule, parse_rules
+from repro.workloads.paper import figure1, figure3
+
+
+class TestProgramSize:
+    def test_fact(self):
+        assert program_size([parse_rule("bird(penguin).")]) == 2
+
+    def test_negative_literal_counts_negation(self):
+        assert program_size([parse_rule("-fly(tweety).")]) == 3
+
+    def test_rule_with_body(self):
+        # fly(X) :- bird(X). -> fly, X, bird, X
+        assert program_size([parse_rule("fly(X) :- bird(X).")]) == 4
+
+    def test_guard_symbols(self):
+        # t :- p(X), X > 11. -> t, p, X, >, X, 11
+        assert program_size([parse_rule("t :- p(X), X > 11.")]) == 6
+
+    def test_compound_terms(self):
+        # p(f(a)) -> p, f, a
+        assert program_size([parse_rule("p(f(a)).")]) == 3
+
+    def test_program_sums_components(self):
+        program = parse_program("component a { p. } component b { q. r. }")
+        assert program_size(program) == 3
+
+
+class TestProgramStats:
+    def test_figure1(self):
+        stats = program_stats(figure1())
+        assert stats.components == 2
+        assert stats.rules == 6
+        assert stats.facts == 3
+        assert stats.negative_head_rules == 2
+        assert stats.predicates == 3
+        assert stats.constants == 2
+        assert stats.order_pairs == 1
+
+    def test_figure3_counts_guard_constants(self):
+        stats = program_stats(figure3(("inflation(12).",)))
+        assert stats.constants >= 4  # 12, 11, 14, 2
+
+    def test_str_mentions_counts(self):
+        text = str(program_stats(figure1()))
+        assert "2 components" in text
+        assert "6 rules" in text

@@ -1,0 +1,63 @@
+"""Unit tests for positive-program semantics (T_P, minimal model)."""
+
+import pytest
+
+from repro.classical.positive import immediate_consequence, minimal_model
+from repro.grounding.grounder import Grounder
+from repro.lang.literals import Atom
+from repro.lang.parser import parse_rules
+from repro.workloads.classic import ancestor_chain
+
+
+def ground(source):
+    return Grounder().ground_rules(parse_rules(source))
+
+
+class TestImmediateConsequence:
+    def test_facts_derived_from_empty(self):
+        g = ground("a. b :- a.")
+        assert immediate_consequence(g.rules, frozenset()) == {Atom("a")}
+
+    def test_rules_fire_on_satisfied_bodies(self):
+        g = ground("a. b :- a.")
+        result = immediate_consequence(g.rules, frozenset({Atom("a")}))
+        assert result == {Atom("a"), Atom("b")}
+
+
+class TestMinimalModel:
+    def test_chain(self):
+        g = ground("a. b :- a. c :- b. d :- c.")
+        assert minimal_model(g.rules) == {Atom("a"), Atom("b"), Atom("c"), Atom("d")}
+
+    def test_unsupported_atom_false(self):
+        g = ground("a :- b.")
+        assert minimal_model(g.rules) == frozenset()
+
+    def test_conjunction(self):
+        g = ground("c :- a, b. a.")
+        assert Atom("c") not in minimal_model(g.rules)
+        g2 = ground("c :- a, b. a. b.")
+        assert Atom("c") in minimal_model(g2.rules)
+
+    def test_ancestor_transitive_closure(self):
+        g = Grounder().ground_rules(ancestor_chain(5))
+        model = minimal_model(g.rules)
+        anc = {str(a) for a in model if a.predicate == "anc"}
+        # n*(n+1)/2 ancestor pairs for a chain of 5 moves (6 nodes)
+        assert len(anc) == 15
+        assert "anc(p0, p5)" in anc
+        assert "anc(p5, p0)" not in anc
+
+    def test_non_positive_rejected(self):
+        g = ground("a :- -b.")
+        with pytest.raises(ValueError):
+            minimal_model(g.rules)
+
+    def test_negative_head_rejected(self):
+        g = ground("-a :- b.")
+        with pytest.raises(ValueError):
+            minimal_model(g.rules)
+
+    def test_cycle_not_self_supporting(self):
+        g = ground("a :- b. b :- a.")
+        assert minimal_model(g.rules) == frozenset()

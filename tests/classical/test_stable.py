@@ -1,0 +1,114 @@
+"""Unit tests for founded models ([SZ]) and GL stable models ([GL1])."""
+
+import pytest
+
+from repro.classical.stable import (
+    founded_models,
+    gl_reduct,
+    gl_stable_models,
+    is_founded,
+    is_gl_stable,
+    positive_version,
+    stable_models,
+)
+from repro.core.interpretation import Interpretation
+from repro.grounding.grounder import Grounder
+from repro.lang.literals import Atom, neg, pos
+from repro.lang.parser import parse_rules
+from repro.workloads.classic import two_stable
+
+
+def ground(source):
+    return Grounder().ground_rules(parse_rules(source))
+
+
+class TestPositiveVersion:
+    def test_keeps_only_applied_rules(self):
+        g = ground("a :- -b. c :- a.")
+        m = Interpretation([pos("a"), neg("b")], g.base)
+        kept = positive_version(g.rules, m)
+        # a :- -b is applied (body true, head in M); c :- a is applicable
+        # but c is not in M, so it is not applied.
+        assert [str(r.head) for r in kept] == ["a"]
+
+    def test_strips_negative_literals(self):
+        g = ground("a :- -b.")
+        m = Interpretation([pos("a"), neg("b")], g.base)
+        (kept,) = positive_version(g.rules, m)
+        assert kept.body == frozenset()
+
+
+class TestFounded:
+    def test_choice_program(self):
+        g = ground("a :- -b. b :- -a.")
+        m_a = Interpretation([pos("a"), neg("b")], g.base)
+        m_b = Interpretation([pos("b"), neg("a")], g.base)
+        m_u = Interpretation([], g.base)
+        assert is_founded(g.rules, m_a)
+        assert is_founded(g.rules, m_b)
+        assert is_founded(g.rules, m_u)
+
+    def test_unfounded_positive_loop(self):
+        g = ground("a :- b. b :- a.")
+        m = Interpretation([pos("a"), pos("b")], g.base)
+        assert not is_founded(g.rules, m)
+
+    def test_founded_models_enumeration(self):
+        g = ground("a :- -b. b :- -a.")
+        founded = founded_models(g.rules, g.base)
+        assert len(founded) == 3
+
+    def test_stable_are_maximal_founded(self):
+        g = ground("a :- -b. b :- -a.")
+        stable = stable_models(g.rules, g.base)
+        sets = {frozenset(map(str, m.literals)) for m in stable}
+        assert sets == {frozenset({"a", "-b"}), frozenset({"b", "-a"})}
+
+    def test_p_not_p_has_only_empty_stable(self):
+        g = ground("p :- -p.")
+        stable = stable_models(g.rules, g.base)
+        assert [sorted(map(str, m.literals)) for m in stable] == [[]]
+
+
+class TestGelfondLifschitz:
+    def test_reduct_deletes_contradicted_rules(self):
+        g = ground("a :- -b. b.")
+        reduct = gl_reduct(g.rules, {Atom("b")})
+        heads = [str(r.head) for r in reduct]
+        assert heads == ["b"]
+
+    def test_reduct_strips_negations(self):
+        g = ground("a :- -b.")
+        (kept,) = gl_reduct(g.rules, set())
+        assert kept.body == frozenset()
+
+    def test_stable_choice(self):
+        g = ground("a :- -b. b :- -a.")
+        assert is_gl_stable(g.rules, {Atom("a")})
+        assert is_gl_stable(g.rules, {Atom("b")})
+        assert not is_gl_stable(g.rules, set())
+        assert not is_gl_stable(g.rules, {Atom("a"), Atom("b")})
+
+    def test_p_not_p_has_no_gl_stable_model(self):
+        g = ground("p :- -p.")
+        assert gl_stable_models(g.rules, g.base) == []
+
+    def test_two_stable_counts(self):
+        g = Grounder().ground_rules(two_stable(3))
+        assert len(gl_stable_models(g.rules, g.base)) == 8
+
+    def test_gl_total_matches_sz_total(self):
+        # Total SZ-stable models coincide with GL stable models.
+        g = ground("a :- -b. b :- -a. c :- a.")
+        gl = {frozenset(m.true_atoms()) for m in gl_stable_models(g.rules, g.base)}
+        sz_total = {
+            frozenset(m.true_atoms())
+            for m in stable_models(g.rules, g.base)
+            if m.is_total
+        }
+        assert gl == sz_total
+
+    def test_requires_seminegative(self):
+        g = ground("-a :- b.")
+        with pytest.raises(ValueError):
+            gl_stable_models(g.rules, g.base)

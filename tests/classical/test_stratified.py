@@ -1,0 +1,90 @@
+"""Unit tests for stratification and the perfect model."""
+
+import pytest
+
+from repro.classical.stratified import (
+    dependency_graph,
+    is_stratified,
+    perfect_model,
+    stratification,
+)
+from repro.grounding.grounder import Grounder
+from repro.lang.literals import Atom
+from repro.lang.parser import parse_rules
+from repro.workloads.classic import even_odd
+
+
+class TestDependencyGraph:
+    def test_edges(self):
+        rules = parse_rules("a :- b, -c.")
+        graph = dependency_graph(rules)
+        assert graph.positive_edges == {("b", "a")}
+        assert graph.negative_edges == {("c", "a")}
+        assert graph.predicates == {"a", "b", "c"}
+
+
+class TestStratification:
+    def test_positive_recursion_is_stratified(self):
+        assert is_stratified(parse_rules("anc(X,Y) :- par(X,Z), anc(Z,Y)."))
+
+    def test_negation_below_is_stratified(self):
+        assert is_stratified(parse_rules("a :- -b. b :- c."))
+
+    def test_negative_cycle_not_stratified(self):
+        assert not is_stratified(parse_rules("a :- -b. b :- a."))
+
+    def test_self_negation_not_stratified(self):
+        assert not is_stratified(parse_rules("p :- -p."))
+
+    def test_strata_levels(self):
+        strata = stratification(parse_rules("a :- -b. b :- -c. c."))
+        assert strata["c"] < strata["b"] < strata["a"]
+
+    def test_positive_edges_weakly_increase(self):
+        strata = stratification(parse_rules("a :- b. b :- -c."))
+        assert strata["b"] <= strata["a"]
+        assert strata["c"] < strata["b"]
+
+    def test_none_for_unstratified(self):
+        assert stratification(parse_rules("a :- -b. b :- a.")) is None
+
+
+class TestPerfectModel:
+    def test_simple_default(self):
+        rules = parse_rules("a :- -b. c.")
+        g = Grounder().ground_rules(rules)
+        model = perfect_model(rules, g.rules)
+        assert model == {Atom("a"), Atom("c")}
+
+    def test_even_odd(self):
+        rules = even_odd(5)
+        g = Grounder().ground_rules(rules)
+        model = perfect_model(rules, g.rules)
+        evens = {str(a) for a in model if a.predicate == "even"}
+        odds = {str(a) for a in model if a.predicate == "odd"}
+        assert evens == {"even(z0)", "even(z2)", "even(z4)"}
+        assert odds == {"odd(z1)", "odd(z3)", "odd(z5)"}
+
+    def test_unstratified_rejected(self):
+        rules = parse_rules("p :- -p.")
+        g = Grounder().ground_rules(rules)
+        with pytest.raises(ValueError):
+            perfect_model(rules, g.rules)
+
+    def test_agrees_with_well_founded_when_stratified(self):
+        from repro.classical.wellfounded import well_founded
+
+        rules = even_odd(4)
+        g = Grounder().ground_rules(rules)
+        pm = perfect_model(rules, g.rules)
+        wf = well_founded(g.rules, g.base)
+        assert wf.is_total
+        assert wf.true_atoms == pm
+
+    def test_agrees_with_gl_stable_when_stratified(self):
+        from repro.classical.stable import is_gl_stable
+
+        rules = parse_rules("a :- -b. b :- c. d :- a.")
+        g = Grounder().ground_rules(rules)
+        pm = perfect_model(rules, g.rules)
+        assert is_gl_stable(g.rules, pm)

@@ -1,0 +1,88 @@
+"""Unit tests for 3-valued model checking and enumeration ([P3])."""
+
+import pytest
+
+from repro.classical.common import base_of
+from repro.classical.threevalued import (
+    is_three_valued_model,
+    minimal_three_valued_models,
+    three_valued_models,
+)
+from repro.core.interpretation import Interpretation
+from repro.grounding.grounder import Grounder
+from repro.lang.errors import SearchBudgetExceeded
+from repro.lang.literals import Atom, neg, pos
+from repro.lang.parser import parse_rules
+
+
+def ground(source):
+    return Grounder().ground_rules(parse_rules(source))
+
+
+class TestChecking:
+    def test_fact_must_not_be_false(self):
+        g = ground("a.")
+        assert not is_three_valued_model(g.rules, Interpretation([neg("a")], g.base))
+
+    def test_fact_true_ok(self):
+        g = ground("a.")
+        assert is_three_valued_model(g.rules, Interpretation([pos("a")], g.base))
+
+    def test_fact_undefined_not_ok(self):
+        g = ground("a.")
+        assert not is_three_valued_model(g.rules, Interpretation([], g.base))
+
+    def test_example7_p_is_three_valued_model(self):
+        # C = {p <- -p}: {p} makes the body false, head true.
+        g = ground("p :- -p.")
+        assert is_three_valued_model(g.rules, Interpretation([pos("p")], g.base))
+
+    def test_example7_all_undefined_is_model(self):
+        g = ground("p :- -p.")
+        assert is_three_valued_model(g.rules, Interpretation([], g.base))
+
+    def test_example7_p_false_is_not_model(self):
+        # value(body) = value(-p) = T > value(head) = F.
+        g = ground("p :- -p.")
+        assert not is_three_valued_model(g.rules, Interpretation([neg("p")], g.base))
+
+    def test_undefined_head_requires_body_at_most_undefined(self):
+        g = ground("a :- b.")
+        assert not is_three_valued_model(
+            g.rules, Interpretation([pos("b")], g.base)
+        )
+        assert is_three_valued_model(g.rules, Interpretation([], g.base))
+
+
+class TestEnumeration:
+    def test_models_of_single_fact(self):
+        g = ground("a.")
+        models = three_valued_models(g.rules, g.base)
+        assert [sorted(map(str, m.literals)) for m in models] == [["a"]]
+
+    def test_count_for_implication(self):
+        g = ground("a :- b.")
+        models = three_valued_models(g.rules, g.base)
+        # All I with value(a) >= value(b): of the 9 interpretations,
+        # excluded are b=T with a in {U, F} and b=U with a=F.
+        assert len(models) == 6
+
+    def test_minimal_models(self):
+        g = ground("a :- b.")
+        minimal = minimal_three_valued_models(g.rules, g.base)
+        assert [sorted(map(str, m.literals)) for m in minimal] == [[]]
+
+    def test_budget_guard(self):
+        source = " ".join(f"p{i}." for i in range(15))
+        g = ground(source)
+        with pytest.raises(SearchBudgetExceeded):
+            three_valued_models(g.rules, g.base)
+
+    def test_negative_head_rejected(self):
+        g = ground("-a :- b.")
+        with pytest.raises(ValueError):
+            three_valued_models(g.rules, g.base)
+
+    def test_base_defaults_to_mentioned_atoms(self):
+        g = ground("a :- b.")
+        assert base_of(g.rules) == {Atom("a"), Atom("b")}

@@ -1,0 +1,138 @@
+"""Unit + property tests for SLD and tabled top-down evaluation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical.positive import minimal_model
+from repro.classical.topdown import DepthBoundReached, TabledEngine, sld_answers
+from repro.grounding.grounder import Grounder
+from repro.lang.errors import QueryError
+from repro.lang.literals import Atom
+from repro.lang.parser import parse_rules
+from repro.lang.terms import Constant, Variable
+from repro.workloads.classic import ancestor_chain
+
+RIGHT_RECURSIVE = parse_rules(
+    """
+    parent(adam, cain).  parent(adam, abel).  parent(cain, enoch).
+    anc(X, Y) :- parent(X, Y).
+    anc(X, Y) :- parent(X, Z), anc(Z, Y).
+    """
+)
+
+LEFT_RECURSIVE = parse_rules(
+    """
+    parent(adam, cain).  parent(cain, enoch).
+    anc(X, Y) :- anc(X, Z), parent(Z, Y).
+    anc(X, Y) :- parent(X, Y).
+    """
+)
+
+
+class TestSLD:
+    def test_ground_query_success(self):
+        assert sld_answers(RIGHT_RECURSIVE, "anc(adam, enoch)")
+
+    def test_ground_query_failure(self):
+        assert sld_answers(RIGHT_RECURSIVE, "anc(enoch, adam)") == []
+
+    def test_open_query_bindings(self):
+        answers = sld_answers(RIGHT_RECURSIVE, "anc(adam, X)")
+        values = {theta[Variable("X")] for theta in answers}
+        assert values == {Constant("cain"), Constant("abel"), Constant("enoch")}
+
+    def test_two_open_variables(self):
+        answers = sld_answers(RIGHT_RECURSIVE, "anc(X, Y)")
+        assert len(answers) == 4
+
+    def test_limit(self):
+        assert len(sld_answers(RIGHT_RECURSIVE, "anc(X, Y)", limit=2)) == 2
+
+    def test_left_recursion_hits_depth_bound(self):
+        with pytest.raises(DepthBoundReached):
+            sld_answers(LEFT_RECURSIVE, "anc(adam, X)", max_depth=50)
+
+    def test_negative_goal_rejected(self):
+        with pytest.raises(QueryError):
+            sld_answers(RIGHT_RECURSIVE, "-anc(adam, X)")
+
+    def test_non_horn_program_rejected(self):
+        rules = parse_rules("a :- -b.")
+        with pytest.raises(QueryError):
+            sld_answers(rules, "a")
+
+    def test_guarded_program_rejected(self):
+        rules = parse_rules("p(X) :- q(X), X > 1.")
+        with pytest.raises(QueryError):
+            sld_answers(rules, "p(X)")
+
+
+class TestTabledEngine:
+    def test_left_recursion_terminates(self):
+        engine = TabledEngine(LEFT_RECURSIVE)
+        answers = engine.query("anc(adam, X)")
+        values = {theta[Variable("X")] for theta in answers}
+        assert values == {Constant("cain"), Constant("enoch")}
+
+    def test_holds(self):
+        engine = TabledEngine(RIGHT_RECURSIVE)
+        assert engine.holds("anc(adam, enoch)")
+        assert not engine.holds("anc(abel, adam)")
+
+    def test_tables_are_reused(self):
+        engine = TabledEngine(RIGHT_RECURSIVE)
+        engine.query("anc(adam, X)")
+        table = engine._tables[("anc", 2)]
+        assert table.complete
+        assert engine.query("anc(cain, X)")  # answered from the table
+
+    def test_agrees_with_bottom_up_on_chain(self):
+        rules = ancestor_chain(6)
+        engine = TabledEngine(rules)
+        bottom_up = {
+            a
+            for a in minimal_model(Grounder().ground_rules(rules).rules)
+            if a.predicate == "anc"
+        }
+        top_down = {
+            Atom(
+                "anc",
+                (theta[Variable("X")], theta[Variable("Y")]),
+            )
+            for theta in engine.query("anc(X, Y)")
+        }
+        assert top_down == bottom_up
+
+
+class TestAgreementProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_sld_and_tabling_agree_with_minimal_model(self, seed):
+        # Random acyclic Horn programs: SLD (bounded), tabling and the
+        # bottom-up minimal model must agree on every ground atom.
+        rng = random.Random(seed)
+        atoms = [f"p{i}" for i in range(4)]
+        lines = []
+        for i, atom in enumerate(atoms):
+            if rng.random() < 0.5:
+                lines.append(f"{atom}(k).")
+            # Bodies only reference strictly earlier predicates: acyclic.
+            for _ in range(rng.randint(0, 2)):
+                if i == 0:
+                    continue
+                body = rng.sample(atoms[:i], k=min(i, rng.randint(1, 2)))
+                lines.append(f"{atom}(X) :- " + ", ".join(f"{b}(X)" for b in body) + ".")
+        rules = parse_rules("\n".join(lines)) if lines else []
+        if not rules:
+            return
+        ground = Grounder().ground_rules(rules)
+        bottom_up = minimal_model(ground.rules)
+        engine = TabledEngine(rules)
+        for atom in ground.base:
+            goal = f"{atom.predicate}(k)"
+            expected = atom in bottom_up
+            assert engine.holds(goal) == expected
+            assert bool(sld_answers(rules, goal)) == expected

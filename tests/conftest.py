@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.lang.parser import parse_program
+
+
+def semantics_of(source: str, component: str) -> OrderedSemantics:
+    """Build an :class:`OrderedSemantics` directly from ``.olp`` source."""
+    return OrderedSemantics(parse_program(source), component)
+
+
+@pytest.fixture
+def figure1_semantics():
+    from repro.workloads.paper import figure1
+
+    return OrderedSemantics(figure1(), "c1")
+
+
+@pytest.fixture
+def figure2_semantics():
+    from repro.workloads.paper import figure2
+
+    return OrderedSemantics(figure2(), "c1")

@@ -1,0 +1,106 @@
+"""Unit tests for assumption sets, the enabled version and Theorem 1(a)
+— anchored on Example 4 of the paper."""
+
+import pytest
+
+from repro.core.assumptions import literal_closure
+from repro.core.semantics import OrderedSemantics
+from repro.grounding.grounder import GroundRule
+from repro.lang.literals import neg, pos
+from repro.workloads.paper import example4, example4_extended, example5, figure1
+
+from ..conftest import semantics_of
+
+
+def gr(head, *body):
+    return GroundRule(head, frozenset(body), "c")
+
+
+class TestLiteralClosure:
+    def test_facts(self):
+        closure = literal_closure([gr(pos("a")), gr(neg("b"))])
+        assert closure == {pos("a"), neg("b")}
+
+    def test_chain(self):
+        closure = literal_closure([gr(pos("a")), gr(pos("b"), pos("a")), gr(pos("c"), pos("b"))])
+        assert pos("c") in closure
+
+    def test_negative_literals_chain(self):
+        closure = literal_closure([gr(neg("a")), gr(pos("b"), neg("a"))])
+        assert closure == {neg("a"), pos("b")}
+
+    def test_unsupported_not_derived(self):
+        closure = literal_closure([gr(pos("a"), pos("b"))])
+        assert closure == frozenset()
+
+    def test_seed(self):
+        closure = literal_closure([gr(pos("a"), pos("b"))], seed={pos("b")})
+        assert closure == {pos("a"), pos("b")}
+
+
+class TestExample4:
+    def test_p4_only_af_model_is_empty(self):
+        sem = OrderedSemantics(example4(), "c1")
+        af = sem.assumption_free_models()
+        assert [sorted(map(str, m.literals)) for m in af] == [[]]
+
+    def test_p4_negative_model_not_assumption_free(self):
+        sem = OrderedSemantics(example4(), "c1")
+        m = sem.interpretation(["-a", "-b"])
+        assert sem.is_model(m)
+        assert not sem.assumptions.is_assumption_free(m)
+        assert sem.assumptions.greatest_assumption_set(m) == m.literals
+
+    def test_extended_p4_makes_negatives_assumption_free(self):
+        sem = OrderedSemantics(example4_extended(), "c1")
+        m = sem.interpretation(["-a", "-b"])
+        assert sem.is_model(m)
+        assert sem.assumptions.is_assumption_free(m)
+
+    def test_singleton_assumption_set(self):
+        sem = OrderedSemantics(example4(), "c1")
+        m = sem.interpretation(["-a"])
+        assert sem.assumptions.is_assumption_set({neg("a")}, m)
+
+    def test_supported_literal_not_assumption_set(self):
+        sem = OrderedSemantics(example4_extended(), "c1")
+        m = sem.interpretation(["-a", "-b"])
+        assert not sem.assumptions.is_assumption_set({neg("a")}, m)
+
+    def test_empty_set_is_not_assumption_set(self):
+        sem = OrderedSemantics(example4(), "c1")
+        assert not sem.assumptions.is_assumption_set(set(), sem.interpretation([]))
+
+    def test_mutual_support_is_assumption_set(self):
+        sem = semantics_of("component c { a :- b. b :- a. }", "c")
+        m = sem.interpretation(["a", "b"])
+        assert sem.is_model(m)
+        assert sem.assumptions.is_assumption_set({pos("a"), pos("b")}, m)
+        assert not sem.assumptions.is_assumption_free(m)
+
+
+class TestEnabledVersionAndTheorem1a:
+    def test_enabled_version_is_applied_rules(self, figure1_semantics):
+        sem = figure1_semantics
+        enabled = sem.assumptions.enabled_version(sem.least_model)
+        assert all(sem.evaluator.applied(r, sem.least_model) for r in enabled)
+        heads = {str(r.head) for r in enabled}
+        assert "fly(pigeon)" in heads
+        assert "fly(penguin)" not in heads
+
+    def test_t_fixpoint_equals_least_model(self, figure1_semantics):
+        sem = figure1_semantics
+        assert sem.assumptions.t_least_fixpoint(sem.least_model) == sem.least_model.literals
+
+    def test_theorem1a_cross_check_on_models(self):
+        # For every model of example 5's P5 in c1, AF via the greatest
+        # assumption set agrees with AF via the T fixpoint.
+        sem = OrderedSemantics(example5(), "c1")
+        for m in sem.models():
+            direct = sem.assumptions.is_assumption_free(m)
+            via_t = sem.assumptions.is_assumption_free_via_theorem1(m)
+            assert direct == via_t, f"disagree on {m}"
+
+    def test_i1_assumption_free(self, figure1_semantics):
+        sem = figure1_semantics
+        assert sem.is_assumption_free_model(sem.least_model)

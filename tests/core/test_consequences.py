@@ -1,0 +1,41 @@
+"""Unit tests for skeptical / credulous consequence relations."""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.lang.errors import InconsistencyError
+from repro.workloads.paper import example5, figure1, figure2
+
+
+class TestSkeptical:
+    def test_example5(self):
+        sem = OrderedSemantics(example5(), "c1")
+        skeptical = sem.skeptical_consequences()
+        assert {str(l) for l in skeptical} == {"c"}
+
+    def test_contains_least_model(self):
+        for factory, comp in ((figure1, "c1"), (figure2, "c1"), (example5, "c1")):
+            sem = OrderedSemantics(factory(), comp)
+            assert sem.least_model.literals <= sem.skeptical_consequences().literals
+
+    def test_figure1_everything_is_skeptical(self):
+        sem = OrderedSemantics(figure1(), "c1")
+        assert sem.skeptical_consequences() == sem.least_model
+
+
+class TestCredulous:
+    def test_example5_union_inconsistent(self):
+        sem = OrderedSemantics(example5(), "c1")
+        literals = sem.credulous_literals()
+        assert {"a", "-a", "b", "-b", "c"} == {str(l) for l in literals}
+        with pytest.raises(InconsistencyError):
+            sem.credulous_consequences()
+
+    def test_figure2_credulous_is_empty(self):
+        sem = OrderedSemantics(figure2(), "c1")
+        assert sem.credulous_literals() == frozenset()
+        assert len(sem.credulous_consequences()) == 0
+
+    def test_consistent_case_round_trips(self):
+        sem = OrderedSemantics(figure1(), "c1")
+        assert sem.credulous_consequences() == sem.least_model

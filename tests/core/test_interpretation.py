@@ -1,0 +1,127 @@
+"""Unit tests for 3-valued interpretations."""
+
+import pytest
+
+from repro.core.interpretation import Interpretation, TruthValue
+from repro.lang.errors import InconsistencyError
+from repro.lang.literals import Atom, neg, pos
+
+
+A, B, C = Atom("a"), Atom("b"), Atom("c")
+BASE = frozenset({A, B, C})
+
+
+class TestConstruction:
+    def test_empty(self):
+        interp = Interpretation((), BASE)
+        assert len(interp) == 0
+        assert interp.undefined_atoms() == BASE
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(InconsistencyError):
+            Interpretation([pos("a"), neg("a")], BASE)
+
+    def test_literal_outside_base_rejected(self):
+        with pytest.raises(ValueError):
+            Interpretation([pos("zap")], BASE)
+
+    def test_default_base_from_literals(self):
+        interp = Interpretation([pos("a"), neg("b")])
+        assert interp.base == {A, B}
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(ValueError):
+            Interpretation([pos("p", "X")])
+
+
+class TestValuation:
+    @pytest.fixture
+    def interp(self):
+        return Interpretation([pos("a"), neg("b")], BASE)
+
+    def test_member_true(self, interp):
+        assert interp.value(pos("a")) is TruthValue.TRUE
+        assert interp.value(neg("b")) is TruthValue.TRUE
+
+    def test_complement_false(self, interp):
+        assert interp.value(neg("a")) is TruthValue.FALSE
+        assert interp.value(pos("b")) is TruthValue.FALSE
+
+    def test_undefined(self, interp):
+        assert interp.value(pos("c")) is TruthValue.UNDEFINED
+
+    def test_value_of_atom(self, interp):
+        assert interp.value_of_atom(A) is TruthValue.TRUE
+        assert interp.value_of_atom(B) is TruthValue.FALSE
+
+    def test_conjunction_empty_is_true(self, interp):
+        assert interp.conjunction_value(()) is TruthValue.TRUE
+
+    def test_conjunction_is_min(self, interp):
+        assert interp.conjunction_value([pos("a"), neg("b")]) is TruthValue.TRUE
+        assert interp.conjunction_value([pos("a"), pos("c")]) is TruthValue.UNDEFINED
+        assert interp.conjunction_value([pos("a"), pos("b")]) is TruthValue.FALSE
+
+    def test_truth_order(self):
+        assert TruthValue.FALSE < TruthValue.UNDEFINED < TruthValue.TRUE
+
+
+class TestDerivedSets:
+    def test_undefined_atoms(self):
+        interp = Interpretation([pos("a")], BASE)
+        assert interp.undefined_atoms() == {B, C}
+
+    def test_total(self):
+        total = Interpretation([pos("a"), neg("b"), pos("c")], BASE)
+        assert total.is_total
+        assert not Interpretation([pos("a")], BASE).is_total
+
+    def test_positive_negative_parts(self):
+        interp = Interpretation([pos("a"), neg("b")], BASE)
+        assert interp.positive_part() == {pos("a")}
+        assert interp.negative_part() == {neg("b")}
+        assert interp.true_atoms() == {A}
+        assert interp.false_atoms() == {B}
+
+
+class TestVariants:
+    def test_with_literals(self):
+        interp = Interpretation([pos("a")], BASE)
+        extended = interp.with_literals([neg("b")])
+        assert neg("b") in extended
+        assert neg("b") not in interp
+
+    def test_with_literals_widens_base(self):
+        interp = Interpretation([pos("a")], BASE)
+        extended = interp.with_literals([pos("zap")])
+        assert Atom("zap") in extended.base
+
+    def test_without_literals(self):
+        interp = Interpretation([pos("a"), neg("b")], BASE)
+        assert interp.without_literals([neg("b")]).literals == {pos("a")}
+
+    def test_restricted_to(self):
+        interp = Interpretation([pos("a"), neg("b")], BASE)
+        small = interp.restricted_to({A})
+        assert small.literals == {pos("a")}
+        assert small.base == {A}
+
+    def test_subset_comparison(self):
+        small = Interpretation([pos("a")], BASE)
+        big = Interpretation([pos("a"), neg("b")], BASE)
+        assert small <= big
+        assert small < big
+        assert not big <= small
+
+    def test_with_base_widens(self):
+        interp = Interpretation([pos("a")])
+        widened = interp.with_base(BASE)
+        assert widened.base == BASE
+        assert widened.literals == interp.literals
+
+    def test_equality_includes_base(self):
+        assert Interpretation([pos("a")], BASE) != Interpretation([pos("a")], {A})
+
+    def test_str_sorted(self):
+        interp = Interpretation([neg("b"), pos("a")], BASE)
+        assert str(interp) == "{-b, a}"

@@ -1,0 +1,102 @@
+"""Unit tests for Definition 3 model checking, Definition 5 and
+Proposition 2 (exhaustive extensions) — anchored on Example 3."""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.workloads.paper import example3, figure1, figure1_flat
+
+from ..conftest import semantics_of
+
+
+@pytest.fixture
+def e3():
+    return OrderedSemantics(example3(), "c")
+
+
+class TestExample3:
+    """P3 = {a :- b.  -a :- b.}: models are exactly
+    {b}, {-b}, {a,-b}, {-a,-b} and {}."""
+
+    EXPECTED = [
+        [],
+        ["b"],
+        ["-b"],
+        ["a", "-b"],
+        ["-a", "-b"],
+    ]
+
+    def test_expected_are_models(self, e3):
+        for literals in self.EXPECTED:
+            interp = e3.interpretation(literals)
+            assert e3.is_model(interp), f"{interp} should be a model"
+
+    def test_enumeration_matches_exactly(self, e3):
+        found = {frozenset(map(str, m.literals)) for m in e3.models()}
+        expected = {frozenset(ls) for ls in self.EXPECTED}
+        assert found == expected
+
+    def test_herbrand_base_not_a_model(self, e3):
+        interp = e3.interpretation(["a", "b"])
+        assert not e3.is_model(interp)
+        assert "condition (a)" in e3.checker.why_not_model(interp)
+
+    def test_why_not_model_is_none_for_models(self, e3):
+        assert e3.checker.why_not_model(e3.interpretation(["b"])) is None
+
+
+class TestConditionB:
+    def test_unexcused_applicable_rule_violates_b(self):
+        sem = semantics_of("component c { a :- b. b. }", "c")
+        partial = sem.interpretation(["b"])  # a undefined but derivable
+        assert not sem.is_model(partial)
+        assert "condition (b)" in sem.checker.why_not_model(partial)
+
+    def test_defeated_rule_excuses_undefinedness(self):
+        sem = semantics_of("component c { a :- b. -a :- b. b. }", "c")
+        partial = sem.interpretation(["b"])
+        assert sem.is_model(partial)
+
+
+class TestTotalAndExhaustive:
+    def test_figure1_least_model_is_total(self):
+        sem = OrderedSemantics(figure1(), "c1")
+        assert sem.checker.is_total_model(sem.least_model)
+
+    def test_total_models_of_example3(self, e3):
+        totals = {frozenset(map(str, m.literals)) for m in e3.total_models()}
+        assert totals == {frozenset({"a", "-b"}), frozenset({"-a", "-b"})}
+
+    def test_exhaustive_models_of_example3(self, e3):
+        exhaustive = {frozenset(map(str, m.literals)) for m in e3.exhaustive_models()}
+        # {b} has no model superset; the two totals are exhaustive too.
+        assert exhaustive == {
+            frozenset({"b"}),
+            frozenset({"a", "-b"}),
+            frozenset({"-a", "-b"}),
+        }
+
+    def test_total_implies_exhaustive(self, e3):
+        exhaustive = e3.exhaustive_models()
+        for total in e3.total_models():
+            assert total in exhaustive
+
+    def test_is_exhaustive_checker(self, e3):
+        assert e3.checker.is_exhaustive(e3.interpretation(["b"]))
+        assert not e3.checker.is_exhaustive(e3.interpretation([]))
+
+    def test_extend_to_exhaustive(self, e3):
+        extended = e3.checker.extend_to_exhaustive(e3.interpretation([]))
+        assert e3.checker.is_exhaustive(extended)
+
+    def test_extend_requires_model(self, e3):
+        with pytest.raises(ValueError):
+            e3.checker.extend_to_exhaustive(e3.interpretation(["a", "b"]))
+
+    def test_proposition2_on_flattened_p1(self):
+        # Every model extends to an exhaustive model.
+        sem = OrderedSemantics(figure1_flat(), "c")
+        model = sem.least_model
+        extended = sem.checker.extend_to_exhaustive(model)
+        assert model.literals <= extended.literals
+        assert sem.checker.is_exhaustive(extended)

@@ -1,0 +1,60 @@
+"""Unit tests for the OrderedSemantics facade."""
+
+import pytest
+
+from repro.core.interpretation import TruthValue
+from repro.core.semantics import OrderedSemantics
+from repro.lang.errors import SemanticsError
+from repro.lang.literals import pos
+from repro.workloads.paper import figure1
+
+
+class TestConstruction:
+    def test_unknown_component_rejected(self):
+        with pytest.raises(SemanticsError):
+            OrderedSemantics(figure1(), "zap")
+
+    def test_ground_cached(self, figure1_semantics):
+        assert figure1_semantics.ground is figure1_semantics.ground
+
+
+class TestEntailment:
+    def test_value_accepts_strings(self, figure1_semantics):
+        assert figure1_semantics.value("fly(pigeon)") is TruthValue.TRUE
+        assert figure1_semantics.value("fly(penguin)") is TruthValue.FALSE
+
+    def test_value_accepts_literals(self, figure1_semantics):
+        assert figure1_semantics.value(pos("fly", "pigeon")) is TruthValue.TRUE
+
+    def test_holds_and_undefined(self, figure1_semantics):
+        assert figure1_semantics.holds("-fly(penguin)")
+        assert not figure1_semantics.holds("fly(penguin)")
+        assert not figure1_semantics.undefined("fly(penguin)")
+
+    def test_meaning_differs_per_component(self):
+        # From c2's point of view the penguin flies (no specific info).
+        sem_c2 = OrderedSemantics(figure1(), "c2")
+        assert sem_c2.holds("fly(penguin)")
+        sem_c1 = OrderedSemantics(figure1(), "c1")
+        assert sem_c1.holds("-fly(penguin)")
+
+
+class TestInterpretationBuilder:
+    def test_strings_and_literals_mix(self, figure1_semantics):
+        interp = figure1_semantics.interpretation(["fly(pigeon)", pos("bird", "pigeon")])
+        assert len(interp) == 2
+
+    def test_base_is_component_base(self, figure1_semantics):
+        interp = figure1_semantics.interpretation([])
+        assert interp.base == figure1_semantics.ground.base
+
+
+class TestDiagnostics:
+    def test_statuses_default_to_least_model(self, figure1_semantics):
+        reports = figure1_semantics.statuses()
+        assert len(reports) == len(figure1_semantics.ground.rules)
+
+    def test_describe_mentions_component(self, figure1_semantics):
+        text = figure1_semantics.describe()
+        assert "component c1" in text
+        assert "least model" in text

@@ -1,0 +1,103 @@
+"""Unit tests for model enumeration (models / AF / stable) and budgets
+— anchored on Example 5 of the paper."""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.core.solver import SearchBudget
+from repro.lang.errors import SearchBudgetExceeded
+from repro.workloads.paper import example3, example5, figure2
+
+from ..conftest import semantics_of
+
+
+def literal_sets(models):
+    return {frozenset(map(str, m.literals)) for m in models}
+
+
+class TestExample5:
+    @pytest.fixture
+    def sem(self):
+        return OrderedSemantics(example5(), "c1")
+
+    def test_stable_models(self, sem):
+        assert literal_sets(sem.stable_models()) == {
+            frozenset({"a", "-b", "c"}),
+            frozenset({"-a", "b", "c"}),
+        }
+
+    def test_c_alone_assumption_free_but_not_stable(self, sem):
+        af = literal_sets(sem.assumption_free_models())
+        assert frozenset({"c"}) in af
+        assert frozenset({"c"}) not in literal_sets(sem.stable_models())
+
+    def test_af_models_exactly(self, sem):
+        assert literal_sets(sem.assumption_free_models()) == {
+            frozenset({"c"}),
+            frozenset({"a", "-b", "c"}),
+            frozenset({"-a", "b", "c"}),
+        }
+
+    def test_is_stable_model_checker(self, sem):
+        assert sem.is_stable_model(sem.interpretation(["a", "-b", "c"]))
+        assert not sem.is_stable_model(sem.interpretation(["c"]))
+        assert not sem.is_stable_model(sem.interpretation(["a", "c"]))
+
+    def test_least_model_in_every_af_model(self, sem):
+        lm = sem.least_model
+        for m in sem.assumption_free_models():
+            assert lm.literals <= m.literals
+
+
+class TestFigure2:
+    def test_empty_is_unique_af_model(self):
+        sem = OrderedSemantics(figure2(), "c1")
+        assert literal_sets(sem.assumption_free_models()) == {frozenset()}
+        assert literal_sets(sem.stable_models()) == {frozenset()}
+
+    def test_no_total_model_exists(self):
+        # The paper: "no total model exists for the program P2 ... in C".
+        sem = OrderedSemantics(figure2(), "c1")
+        assert sem.total_models() == []
+
+
+class TestLimitsAndBudgets:
+    def test_limit_stops_enumeration(self):
+        sem = OrderedSemantics(example3(), "c")
+        assert len(sem.models(limit=2)) == 2
+
+    def test_af_limit(self):
+        sem = OrderedSemantics(example5(), "c1")
+        assert len(sem.assumption_free_models(limit=1)) == 1
+
+    def test_estimate_budget(self):
+        sem = OrderedSemantics(
+            example5(), "c1", budget=SearchBudget(max_leaves=2)
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            sem.assumption_free_models()
+
+    def test_visit_budget(self):
+        sem = OrderedSemantics(
+            example3(), "c", budget=SearchBudget(max_visited=3)
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            sem.models()
+
+    def test_interpretation_count(self):
+        sem = OrderedSemantics(example3(), "c")
+        # Base {a, b}: 3^2 = 9 interpretations.
+        assert len(list(sem.enumerator.interpretations())) == 9
+
+
+class TestHeadRestriction:
+    def test_non_head_atoms_stay_undefined_in_af_models(self):
+        # q heads no rule: it cannot be true or false in an AF model.
+        sem = semantics_of("component c { a :- q. }", "c")
+        for m in sem.assumption_free_models():
+            assert all(l.predicate != "q" for l in m)
+
+    def test_least_model_check(self):
+        sem = OrderedSemantics(example3(), "c")
+        assert sem.enumerator.least_model_check(sem.least_model)
+        assert not sem.enumerator.least_model_check(sem.interpretation(["b"]))

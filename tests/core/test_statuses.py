@@ -1,0 +1,128 @@
+"""Unit tests for Definition 2's rule statuses, using Example 2 of the
+paper as the reference scenario."""
+
+import pytest
+
+from repro.core.interpretation import Interpretation
+from repro.core.semantics import OrderedSemantics
+from repro.lang.parser import parse_literal
+from repro.workloads.paper import figure1, figure1_flat
+
+
+def rule_named(semantics, head, body_atom=None):
+    """Find the ground rule with the given head (and body atom)."""
+    for r in semantics.ground.rules:
+        if str(r.head) != head:
+            continue
+        if body_atom is not None and not any(body_atom in str(l) for l in r.body):
+            continue
+        return r
+    raise AssertionError(f"no ground rule with head {head}")
+
+
+@pytest.fixture
+def p1():
+    return OrderedSemantics(figure1(), "c1")
+
+
+@pytest.fixture
+def i1(p1):
+    """The paper's total interpretation I1 for P1 in C1."""
+    return p1.interpretation(
+        [
+            "bird(pigeon)",
+            "bird(penguin)",
+            "ground_animal(penguin)",
+            "-ground_animal(pigeon)",
+            "fly(pigeon)",
+            "-fly(penguin)",
+        ]
+    )
+
+
+class TestExample2OnP1:
+    def test_fly_penguin_applicable_but_overruled(self, p1, i1):
+        r = rule_named(p1, "fly(penguin)")
+        ev = p1.evaluator
+        assert ev.applicable(r, i1)
+        assert not ev.applied(r, i1)  # head not in I1
+        assert ev.overruled(r, i1)
+        assert ev.overruled_by_applied(r, i1)
+
+    def test_neg_fly_penguin_applied(self, p1, i1):
+        r = rule_named(p1, "-fly(penguin)")
+        ev = p1.evaluator
+        assert ev.applied(r, i1)
+        assert not ev.overruled(r, i1)
+        assert not ev.defeated(r, i1)
+
+    def test_neg_fly_pigeon_blocked_and_inapplicable(self, p1, i1):
+        r = rule_named(p1, "-fly(pigeon)")
+        ev = p1.evaluator
+        assert ev.blocked(r, i1)
+        assert not ev.applicable(r, i1)
+
+    def test_facts_always_applicable(self, p1, i1):
+        r = rule_named(p1, "bird(penguin)")
+        assert p1.evaluator.applicable(r, i1)
+        assert not p1.evaluator.blocked(r, i1)
+
+
+class TestExample2OnFlattenedP1:
+    """In the single-component merge, overruling turns into defeat."""
+
+    @pytest.fixture
+    def flat(self):
+        return OrderedSemantics(figure1_flat(), "c")
+
+    @pytest.fixture
+    def i1_flat(self, flat):
+        return flat.interpretation(
+            [
+                "bird(pigeon)",
+                "bird(penguin)",
+                "ground_animal(penguin)",
+                "-ground_animal(pigeon)",
+                "fly(pigeon)",
+                "-fly(penguin)",
+            ]
+        )
+
+    def test_fly_penguin_defeated_not_overruled(self, flat, i1_flat):
+        r = rule_named(flat, "fly(penguin)")
+        ev = flat.evaluator
+        assert ev.applicable(r, i1_flat)
+        assert ev.defeated(r, i1_flat)
+        assert not ev.overruled(r, i1_flat)
+
+    def test_ground_animal_fact_defeated(self, flat, i1_flat):
+        r = rule_named(flat, "ground_animal(penguin)")
+        ev = flat.evaluator
+        assert ev.applied(r, i1_flat)
+        assert ev.defeated(r, i1_flat)
+
+
+class TestReports:
+    def test_report_flags(self, p1, i1):
+        r = rule_named(p1, "fly(penguin)")
+        report = p1.evaluator.report(r, i1)
+        assert report.applicable and report.overruled
+        assert not report.applied and not report.blocked
+        assert "overruled" in str(report)
+
+    def test_reports_cover_all_rules(self, p1, i1):
+        assert len(list(p1.evaluator.reports(i1))) == len(p1.ground.rules)
+
+    def test_inert_rule_report(self, p1):
+        empty = p1.interpretation([])
+        r = rule_named(p1, "fly(penguin)")
+        report = p1.evaluator.report(r, empty)
+        assert not report.applicable
+        # Under the empty interpretation the contradicting rule is
+        # non-blocked, so fly(penguin) is already overruled.
+        assert report.overruled
+
+    def test_rules_with_head_index(self, p1):
+        rules = p1.evaluator.rules_with_head(parse_literal("-fly(penguin)"))
+        assert len(rules) == 1
+        assert rules[0].component == "c1"

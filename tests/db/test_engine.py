@@ -1,0 +1,156 @@
+"""Unit + differential tests for the non-ground Datalog engine."""
+
+import pytest
+
+from repro.classical.positive import minimal_model
+from repro.classical.stratified import perfect_model
+from repro.db.database import Database
+from repro.db.engine import DatalogEngine
+from repro.db.relation import RelationError
+from repro.grounding.grounder import Grounder
+from repro.lang.errors import UnsafeRuleError
+from repro.lang.parser import parse_rules
+from repro.lang.terms import Constant, Variable
+from repro.workloads.classic import ancestor_chain, even_odd
+
+
+@pytest.fixture
+def family_db():
+    db = Database()
+    for pair in [("adam", "cain"), ("adam", "abel"), ("cain", "enoch")]:
+        db.insert("parent", pair)
+    return db
+
+
+ANC_RULES = parse_rules(
+    """
+    anc(X, Y) :- parent(X, Y).
+    anc(X, Y) :- parent(X, Z), anc(Z, Y).
+    """
+)
+
+
+class TestBasicEvaluation:
+    def test_transitive_closure(self, family_db):
+        engine = DatalogEngine(ANC_RULES, family_db)
+        assert engine.holds("anc(adam, enoch)")
+        assert not engine.holds("anc(enoch, adam)")
+        assert len(engine.relation("anc", 2)) == 4
+
+    def test_query_bindings(self, family_db):
+        engine = DatalogEngine(ANC_RULES, family_db)
+        answers = engine.query("anc(adam, X)")
+        values = {theta[Variable("X")] for theta in answers}
+        assert values == {Constant("cain"), Constant("abel"), Constant("enoch")}
+
+    def test_facts_in_rules(self):
+        engine = DatalogEngine(parse_rules("p(a). q(X) :- p(X)."))
+        assert engine.holds("q(a)")
+
+    def test_database_not_mutated(self, family_db):
+        DatalogEngine(parse_rules("parent(eve, cain)."), family_db)
+        assert len(family_db.relation("parent")) == 3
+
+    def test_materialised_database(self, family_db):
+        engine = DatalogEngine(ANC_RULES, family_db)
+        out = engine.database()
+        assert "anc" in out and "parent" in out
+
+    def test_negative_query_rejected(self, family_db):
+        engine = DatalogEngine(ANC_RULES, family_db)
+        with pytest.raises(RelationError):
+            engine.query("-anc(adam, X)")
+
+
+class TestGuards:
+    def test_arithmetic_guard(self):
+        db = Database()
+        for name, age in [("ana", 30), ("bob", 12), ("cid", 45)]:
+            db.insert("age", (name, age))
+        engine = DatalogEngine(
+            parse_rules("adult(X) :- age(X, A), A >= 18."), db
+        )
+        answers = engine.query("adult(X)")
+        assert {str(t[Variable("X")]) for t in answers} == {"ana", "cid"}
+
+    def test_inequality_join(self):
+        db = Database()
+        for c in ("red", "blue"):
+            db.insert("color", (c,))
+        engine = DatalogEngine(
+            parse_rules("pair(X, Y) :- color(X), color(Y), X != Y."), db
+        )
+        assert len(engine.query("pair(X, Y)")) == 2
+
+
+class TestNegation:
+    def test_stratified_negation(self):
+        db = Database()
+        db.insert("node", ("a",))
+        db.insert("node", ("b",))
+        db.insert("broken", ("b",))
+        engine = DatalogEngine(
+            parse_rules("healthy(X) :- node(X), -broken(X)."), db
+        )
+        assert engine.holds("healthy(a)")
+        assert not engine.holds("healthy(b)")
+
+    def test_even_odd(self):
+        engine = DatalogEngine(even_odd(6))
+        evens = {str(t[Variable("X")]) for t in engine.query("even(X)")}
+        assert evens == {"z0", "z2", "z4", "z6"}
+
+    def test_unstratified_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            DatalogEngine(parse_rules("p(a). q(X) :- p(X), -q(X)."))
+
+
+class TestSafety:
+    def test_unbound_head_variable(self):
+        with pytest.raises(UnsafeRuleError):
+            DatalogEngine(parse_rules("p(X) :- q(a)."))
+
+    def test_unbound_negative_literal(self):
+        with pytest.raises(UnsafeRuleError):
+            DatalogEngine(parse_rules("p(X) :- q(X), -r(Y)."))
+
+    def test_unbound_guard(self):
+        with pytest.raises(UnsafeRuleError):
+            DatalogEngine(parse_rules("p(X) :- q(X), Y > 1."))
+
+    def test_negative_head_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            DatalogEngine(parse_rules("-p(X) :- q(X)."))
+
+    def test_non_ground_fact_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            DatalogEngine(parse_rules("p(X)."))
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("length", [3, 7, 12])
+    def test_agrees_with_ground_then_close(self, length):
+        rules = ancestor_chain(length)
+        engine = DatalogEngine(rules)
+        ground = Grounder().ground_rules(rules)
+        assert engine.atoms() == minimal_model(ground.rules)
+
+    def test_agrees_with_perfect_model(self):
+        rules = even_odd(5)
+        engine = DatalogEngine(rules)
+        ground = Grounder().ground_rules(rules)
+        assert engine.atoms() == perfect_model(rules, ground.rules)
+
+    def test_multi_join_rule(self):
+        db = Database()
+        edges = [("a", "b"), ("b", "c"), ("c", "d"), ("a", "c")]
+        for e in edges:
+            db.insert("edge", e)
+        engine = DatalogEngine(
+            parse_rules(
+                "tri(X, Y, Z) :- edge(X, Y), edge(Y, Z), edge(X, Z)."
+            ),
+            db,
+        )
+        answers = engine.query("tri(X, Y, Z)")
+        assert len(answers) == 1  # a-b-c

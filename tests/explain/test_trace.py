@@ -1,0 +1,127 @@
+"""Unit tests for derivation traces and failure analysis."""
+
+import pytest
+
+from repro.core.interpretation import TruthValue
+from repro.core.semantics import OrderedSemantics
+from repro.explain.trace import Explainer
+from repro.workloads.paper import figure1, figure2, figure3
+
+from ..conftest import semantics_of
+
+
+@pytest.fixture
+def f1_explainer():
+    return Explainer(OrderedSemantics(figure1(), "c1"))
+
+
+class TestWhy:
+    def test_fact_derivation(self, f1_explainer):
+        derivation = f1_explainer.why("bird(pigeon)")
+        assert derivation.stage == 1
+        assert derivation.rule.is_fact
+        assert derivation.premises == ()
+
+    def test_chained_derivation(self, f1_explainer):
+        derivation = f1_explainer.why("-fly(penguin)")
+        assert str(derivation.rule.head) == "-fly(penguin)"
+        (premise,) = derivation.premises
+        assert str(premise.literal) == "ground_animal(penguin)"
+        assert premise.stage < derivation.stage
+
+    def test_blocked_overruler_delays_stage(self, f1_explainer):
+        # fly(pigeon) waits for -ground_animal(pigeon) to block the
+        # exception, so it lands at stage 3.
+        derivation = f1_explainer.why("fly(pigeon)")
+        assert derivation.stage == 3
+
+    def test_premise_stages_strictly_decrease(self, f1_explainer):
+        def check(node):
+            for premise in node.premises:
+                assert premise.stage < node.stage
+                check(premise)
+
+        check(f1_explainer.why("fly(pigeon)"))
+
+    def test_why_rejects_non_members(self, f1_explainer):
+        with pytest.raises(ValueError):
+            f1_explainer.why("fly(penguin)")
+
+    def test_render_mentions_stages(self, f1_explainer):
+        text = f1_explainer.why("fly(pigeon)").render()
+        assert "[stage 3]" in text
+        assert "bird(pigeon)" in text
+
+
+class TestWhyNot:
+    def test_false_literal_points_at_complement(self, f1_explainer):
+        report = f1_explainer.why_not("fly(penguin)")
+        assert report.value is TruthValue.FALSE
+        assert report.complement_derivation is not None
+        assert str(report.complement_derivation.literal) == "-fly(penguin)"
+
+    def test_overruled_failure(self, f1_explainer):
+        report = f1_explainer.why_not("fly(penguin)")
+        reasons = {f.reason for f in report.failures}
+        assert "overruled" in reasons
+
+    def test_defeat_failure(self):
+        explainer = Explainer(OrderedSemantics(figure2(), "c1"))
+        report = explainer.why_not("rich(mimmo)")
+        assert report.value is TruthValue.UNDEFINED
+        assert any(f.reason == "defeated" for f in report.failures)
+
+    def test_unmet_body_failure(self):
+        explainer = Explainer(OrderedSemantics(figure3(()), "c1"))
+        report = explainer.why_not("take_loan")
+        assert report.failures
+        assert all(f.reason in ("unmet-body", "defeated") for f in report.failures)
+
+    def test_blocked_failure(self, f1_explainer):
+        report = f1_explainer.why_not("-fly(pigeon)")
+        assert any(f.reason == "blocked" for f in report.failures)
+
+    def test_headless_literal(self):
+        explainer = Explainer(semantics_of("component c { a :- b. }", "c"))
+        report = explainer.why_not("b")
+        assert report.failures == ()
+        assert "no ground rule" in report.render()
+
+    def test_why_not_rejects_members(self, f1_explainer):
+        with pytest.raises(ValueError):
+            f1_explainer.why_not("fly(pigeon)")
+
+
+class TestReductions:
+    def test_cwa_derivation_through_ov(self):
+        from repro.reductions import ordered_version
+        from repro.workloads.paper import example6_ancestor
+
+        sem = ordered_version(example6_ancestor()).semantics()
+        explainer = Explainer(sem)
+        derivation = explainer.why("-anc(enoch, adam)")
+        # The negative fact comes from the CWA component's schema rule.
+        assert derivation.rule.component == "cwa"
+        assert derivation.rule.is_fact
+
+    def test_overruled_cwa_explained(self):
+        from repro.reductions import ordered_version
+        from repro.workloads.paper import example6_ancestor
+
+        sem = ordered_version(example6_ancestor()).semantics()
+        explainer = Explainer(sem)
+        report = explainer.why_not("-anc(adam, cain)")
+        assert report.complement_derivation is not None
+        assert any(f.reason == "overruled" for f in report.failures)
+
+
+class TestExplain:
+    def test_explain_dispatches(self, f1_explainer):
+        assert "via" in f1_explainer.explain("fly(pigeon)")
+        assert "overruled" in f1_explainer.explain("fly(penguin)")
+
+    def test_every_least_model_literal_has_support(self, f1_explainer):
+        sem = OrderedSemantics(figure1(), "c1")
+        for literal in sem.least_model:
+            derivation = f1_explainer.why(literal)
+            assert derivation.literal == literal

@@ -1,0 +1,88 @@
+"""Unit tests for per-predicate negation conventions (the paper's
+situations (i)–(iii) after Example 4)."""
+
+import pytest
+
+from repro.core.interpretation import TruthValue
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.define(
+        "db",
+        """
+        parent(adam, cain).
+        anc(X, Y) :- parent(X, Y).
+        anc(X, Y) :- parent(X, Z), anc(Z, Y).
+        """,
+    )
+    return kb
+
+
+class TestSituationIII_OpenByDefault:
+    def test_underivable_atoms_stay_undefined(self, kb):
+        assert kb.value("db", "parent(cain, adam)") is TruthValue.UNDEFINED
+        assert kb.value("db", "anc(cain, adam)") is TruthValue.UNDEFINED
+
+    def test_derived_atoms_true(self, kb):
+        assert kb.ask("db", "anc(adam, cain)")
+
+
+class TestSituationI_ClosedWorld:
+    def test_cwa_makes_underivables_false(self, kb):
+        kb.assume_closed("parent", 2)
+        kb.assume_closed("anc", 2)
+        assert kb.value("db", "parent(cain, adam)") is TruthValue.FALSE
+        assert kb.value("db", "anc(cain, adam)") is TruthValue.FALSE
+
+    def test_derivations_overrule_the_default(self, kb):
+        kb.assume_closed("parent", 2)
+        kb.assume_closed("anc", 2)
+        assert kb.ask("db", "anc(adam, cain)")
+        assert kb.least_model("db").is_total
+
+    def test_objects_defined_later_also_see_defaults(self, kb):
+        kb.assume_closed("parent", 2)
+        kb.define("view", "interesting(X) :- anc(adam, X).", isa=["db"])
+        assert kb.value("view", "parent(cain, adam)") is TruthValue.FALSE
+
+    def test_propositional_closure(self):
+        kb = KnowledgeBase()
+        kb.define("o", "a :- b.")
+        kb.assume_closed("a", 0)
+        kb.assume_closed("b", 0)
+        assert kb.value("o", "a") is TruthValue.FALSE
+        assert kb.value("o", "b") is TruthValue.FALSE
+
+
+class TestSituationII_PositiveByDefault:
+    def test_positive_default_unless_overruled(self):
+        kb = KnowledgeBase()
+        kb.define(
+            "security",
+            """
+            item(secret_doc).
+            item(lunch_menu).
+            -accessible(X) :- classified(X).
+            classified(secret_doc).
+            """,
+        )
+        # Situation (ii): everything is accessible unless proven not.
+        # classified also needs its (negative) closure, so that the
+        # -accessible exception is *blocked* for unclassified items
+        # rather than permanently non-blocked.
+        kb.assume_closed("accessible", 1, negative=False)
+        kb.assume_closed("classified", 1)
+        assert kb.ask("security", "accessible(lunch_menu)")
+        assert kb.ask("security", "-accessible(secret_doc)")
+        assert kb.ask("security", "-classified(lunch_menu)")
+
+    def test_mixed_conventions(self):
+        kb = KnowledgeBase()
+        kb.define("o", "p :- q.")
+        kb.assume_closed("q", 0)              # q false by default
+        kb.assume_closed("p", 0, negative=False)  # p true by default
+        assert kb.value("o", "q") is TruthValue.FALSE
+        assert kb.value("o", "p") is TruthValue.TRUE

@@ -1,0 +1,64 @@
+"""Unit tests for query evaluation modes and answer bindings."""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.kb.query import QueryMode, evaluate_query
+from repro.lang.errors import QueryError
+from repro.lang.literals import pos
+from repro.lang.terms import Constant, Variable
+from repro.workloads.paper import example5, figure1
+
+
+@pytest.fixture
+def f1():
+    return OrderedSemantics(figure1(), "c1")
+
+
+class TestCautious:
+    def test_pattern_binds_variables(self, f1):
+        answers = evaluate_query(f1, "fly(X)")
+        assert [str(a.literal) for a in answers] == ["fly(pigeon)"]
+        assert answers[0].bindings[Variable("X")] == Constant("pigeon")
+
+    def test_negative_pattern(self, f1):
+        answers = evaluate_query(f1, "-fly(X)")
+        assert [str(a.literal) for a in answers] == ["-fly(penguin)"]
+
+    def test_ground_query(self, f1):
+        assert evaluate_query(f1, "fly(pigeon)")
+        assert not evaluate_query(f1, "fly(penguin)")
+
+    def test_literal_object_accepted(self, f1):
+        assert evaluate_query(f1, pos("fly", "pigeon"))
+
+    def test_no_match_for_unknown_predicate(self, f1):
+        assert evaluate_query(f1, "swims(X)") == []
+
+
+class TestModes:
+    @pytest.fixture
+    def e5(self):
+        return OrderedSemantics(example5(), "c1")
+
+    def test_skeptical(self, e5):
+        assert evaluate_query(e5, "c", QueryMode.SKEPTICAL)
+        assert not evaluate_query(e5, "a", QueryMode.SKEPTICAL)
+
+    def test_credulous(self, e5):
+        assert evaluate_query(e5, "a", QueryMode.CREDULOUS)
+        assert evaluate_query(e5, "b", QueryMode.CREDULOUS)
+        assert evaluate_query(e5, "-b", QueryMode.CREDULOUS)
+
+    def test_mode_strings(self, e5):
+        assert evaluate_query(e5, "c", "skeptical")
+        assert evaluate_query(e5, "a", "credulous")
+
+    def test_unknown_mode(self, e5):
+        with pytest.raises(QueryError):
+            evaluate_query(e5, "c", "optimistic")
+
+    def test_answers_sorted(self, f1):
+        answers = evaluate_query(f1, "bird(X)")
+        names = [str(a.literal) for a in answers]
+        assert names == sorted(names)

@@ -1,0 +1,113 @@
+"""Unit tests for comparison guards and arithmetic expressions."""
+
+import pytest
+
+from repro.lang.builtins import BinaryOp, Comparison, evaluate_expr, expr_leaf_terms
+from repro.lang.errors import GroundingError
+from repro.lang.terms import Constant, Variable
+
+
+def bindings(**kwargs):
+    return {Variable(k): Constant(v) for k, v in kwargs.items()}
+
+
+class TestEvaluateExpr:
+    def test_constant(self):
+        assert evaluate_expr(Constant(5), {}) == 5
+
+    def test_variable_lookup(self):
+        assert evaluate_expr(Variable("X"), bindings(X=7)) == 7
+
+    def test_addition(self):
+        expr = BinaryOp("+", Variable("X"), Constant(2))
+        assert evaluate_expr(expr, bindings(X=16)) == 18
+
+    def test_nested(self):
+        expr = BinaryOp("*", BinaryOp("-", Constant(10), Constant(4)), Constant(3))
+        assert evaluate_expr(expr, {}) == 18
+
+    def test_integer_division(self):
+        assert evaluate_expr(BinaryOp("/", Constant(7), Constant(2)), {}) == 3
+
+    def test_division_by_zero(self):
+        with pytest.raises(GroundingError):
+            evaluate_expr(BinaryOp("/", Constant(7), Constant(0)), {})
+
+    def test_unbound_variable(self):
+        with pytest.raises(GroundingError):
+            evaluate_expr(Variable("X"), {})
+
+    def test_symbolic_constant_rejected(self):
+        with pytest.raises(GroundingError):
+            evaluate_expr(Constant("penguin"), {})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("^", Constant(1), Constant(2))
+
+
+class TestComparison:
+    def test_figure3_guard(self):
+        # X > Y + 2 with X=19, Y=16 holds; with X=12, Y=16 it does not.
+        guard = Comparison(">", Variable("X"), BinaryOp("+", Variable("Y"), Constant(2)))
+        assert guard.holds(bindings(X=19, Y=16))
+        assert not guard.holds(bindings(X=12, Y=16))
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("<", 1, 2, True),
+            ("<", 2, 2, False),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 2, 3, False),
+            ("=", 2, 2, True),
+            ("!=", 2, 2, False),
+            ("!=", 2, 3, True),
+        ],
+    )
+    def test_operators(self, op, left, right, expected):
+        assert Comparison(op, Constant(left), Constant(right)).holds({}) is expected
+
+    def test_symbolic_equality(self):
+        # Example 9 compares colour constants with X != Y.
+        guard = Comparison("!=", Variable("X"), Variable("Y"))
+        assert guard.holds({Variable("X"): Constant("red"), Variable("Y"): Constant("blue")})
+        assert not guard.holds({Variable("X"): Constant("red"), Variable("Y"): Constant("red")})
+
+    def test_symbolic_equals(self):
+        guard = Comparison("=", Variable("X"), Constant("red"))
+        assert guard.holds({Variable("X"): Constant("red")})
+        assert not guard.holds({Variable("X"): Constant("blue")})
+
+    def test_int_never_equals_symbol(self):
+        guard = Comparison("=", Constant(1), Constant("one"))
+        assert not guard.holds({})
+
+    def test_symbolic_order_comparison_raises(self):
+        guard = Comparison("<", Constant("a"), Constant(2))
+        with pytest.raises(GroundingError):
+            guard.holds({})
+
+    def test_variables(self):
+        guard = Comparison(">", Variable("X"), BinaryOp("+", Variable("Y"), Constant(2)))
+        assert guard.variables() == {Variable("X"), Variable("Y")}
+        assert not guard.is_ground
+        assert Comparison("<", Constant(1), Constant(2)).is_ground
+
+    def test_unknown_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("~", Constant(1), Constant(2))
+
+    def test_str(self):
+        guard = Comparison(">", Variable("X"), BinaryOp("+", Variable("Y"), Constant(2)))
+        assert str(guard) == "X > Y + 2"
+
+
+class TestLeafTerms:
+    def test_leaves(self):
+        expr = BinaryOp("+", Variable("Y"), Constant(2))
+        assert set(expr_leaf_terms(expr)) == {Variable("Y"), Constant(2)}
+
+    def test_single_term(self):
+        assert list(expr_leaf_terms(Constant(5))) == [Constant(5)]

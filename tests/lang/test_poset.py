@@ -1,0 +1,99 @@
+"""Unit tests for the strict partial order over components."""
+
+import pytest
+
+from repro.lang.errors import OrderError
+from repro.lang.poset import PartialOrder
+
+
+class TestConstruction:
+    def test_empty(self):
+        po = PartialOrder()
+        assert len(po) == 0
+
+    def test_elements_without_pairs(self):
+        po = PartialOrder(["a", "b"])
+        assert po.incomparable("a", "b")
+
+    def test_reflexive_pair_rejected(self):
+        po = PartialOrder()
+        with pytest.raises(OrderError):
+            po.add_pair("a", "a")
+
+    def test_direct_cycle_rejected(self):
+        po = PartialOrder(pairs=[("a", "b")])
+        with pytest.raises(OrderError):
+            po.add_pair("b", "a")
+
+    def test_transitive_cycle_rejected(self):
+        po = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        with pytest.raises(OrderError):
+            po.add_pair("c", "a")
+
+    def test_duplicate_pair_is_noop(self):
+        po = PartialOrder(pairs=[("a", "b")])
+        po.add_pair("a", "b")
+        assert po.less("a", "b")
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self):
+        return PartialOrder(
+            pairs=[("bot", "l"), ("bot", "r"), ("l", "top"), ("r", "top")]
+        )
+
+    def test_transitivity(self, diamond):
+        assert diamond.less("bot", "top")
+
+    def test_less_equal(self, diamond):
+        assert diamond.less_equal("bot", "bot")
+        assert diamond.less_equal("bot", "top")
+        assert not diamond.less_equal("top", "bot")
+
+    def test_incomparable(self, diamond):
+        assert diamond.incomparable("l", "r")
+        assert not diamond.incomparable("l", "l")
+        assert not diamond.incomparable("bot", "l")
+
+    def test_upset(self, diamond):
+        assert diamond.upset("bot") == {"bot", "l", "r", "top"}
+        assert diamond.upset("l") == {"l", "top"}
+        assert diamond.upset("top") == {"top"}
+
+    def test_downset(self, diamond):
+        assert diamond.downset("top") == {"bot", "l", "r", "top"}
+        assert diamond.downset("bot") == {"bot"}
+
+    def test_minimal_maximal(self, diamond):
+        assert diamond.minimal_elements() == {"bot"}
+        assert diamond.maximal_elements() == {"top"}
+
+    def test_unknown_element(self, diamond):
+        with pytest.raises(OrderError):
+            diamond.less("bot", "zap")
+
+    def test_covering_pairs_drop_transitive_edges(self):
+        po = PartialOrder(pairs=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert po.covering_pairs() == {("a", "b"), ("b", "c")}
+
+    def test_pairs_is_closure(self):
+        po = PartialOrder(pairs=[("a", "b"), ("b", "c")])
+        assert po.pairs() == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_topological_most_general_first(self, diamond):
+        order = diamond.topological()
+        assert order.index("top") < order.index("l")
+        assert order.index("l") < order.index("bot")
+        assert order.index("r") < order.index("bot")
+
+    def test_copy_independent(self, diamond):
+        clone = diamond.copy()
+        clone.add_element("new")
+        assert "new" not in diamond
+        assert clone == clone and clone != diamond
+
+    def test_equality(self):
+        a = PartialOrder(pairs=[("a", "b")])
+        b = PartialOrder(pairs=[("a", "b")])
+        assert a == b

@@ -1,0 +1,40 @@
+"""Unit tests for the pretty-printer, including parse/render round trips."""
+
+from repro.lang.parser import parse_program, parse_rule
+from repro.lang.printer import render_component, render_program, render_rule
+from repro.workloads.paper import figure1, figure2, figure3
+
+
+class TestRendering:
+    def test_render_rule(self):
+        r = parse_rule("fly(X) :- bird(X), X != Y.")
+        assert render_rule(r) == "fly(X) :- bird(X), X != Y."
+
+    def test_render_component(self):
+        program = figure1()
+        text = render_component(program.component("c1"))
+        assert text.startswith("component c1 {")
+        assert "-fly(X) :- ground_animal(X)." in text
+
+    def test_render_program_contains_order(self):
+        assert "order c1 < c2." in render_program(figure1())
+
+
+class TestRoundTrip:
+    def test_figure1(self):
+        program = figure1()
+        assert parse_program(render_program(program)) == program
+
+    def test_figure2(self):
+        program = figure2()
+        assert parse_program(render_program(program)) == program
+
+    def test_figure3_with_guards(self):
+        program = figure3(("inflation(12).", "loan_rate(16)."))
+        assert parse_program(render_program(program)) == program
+
+    def test_transitive_order_preserved(self):
+        source = "component a {} component b {} component c {} order a < b < c."
+        program = parse_program(source)
+        rendered = parse_program(render_program(program))
+        assert rendered.order.less("a", "c")

@@ -1,0 +1,113 @@
+"""Unit tests for components and ordered programs (Definition 1)."""
+
+import pytest
+
+from repro.lang.errors import OrderError, SemanticsError
+from repro.lang.literals import neg, pos
+from repro.lang.parser import parse_rules
+from repro.lang.program import Component, OrderedProgram
+from repro.lang.rules import fact, rule
+from repro.lang.terms import Constant
+
+
+class TestComponent:
+    def test_classification(self):
+        assert Component("c", [rule(pos("a"), pos("b"))]).is_positive
+        assert Component("c", [rule(pos("a"), neg("b"))]).is_seminegative
+        assert not Component("c", [rule(neg("a"))]).is_seminegative
+
+    def test_predicate_signatures(self):
+        c = Component("c", parse_rules("fly(X) :- bird(X)."))
+        assert c.predicate_signatures() == {("fly", 1), ("bird", 1)}
+
+    def test_constants_includes_guards(self):
+        c = Component("c", parse_rules("take_loan :- inflation(X), X > 11."))
+        assert Constant(11) in c.constants()
+
+    def test_function_symbols(self):
+        c = Component("c", parse_rules("p(f(X)) :- q(g(a, X))."))
+        assert c.function_symbols() == {("f", 1), ("g", 2)}
+
+    def test_head_literals(self):
+        c = Component("c", parse_rules("a :- b. -c."))
+        assert c.head_literals() == {pos("a"), neg("c")}
+
+    def test_extend_returns_new(self):
+        c = Component("c", [fact(pos("a"))])
+        extended = c.extend([fact(pos("b"))])
+        assert len(c) == 1 and len(extended) == 2
+
+    def test_rules_compare_as_sets(self):
+        r1, r2 = fact(pos("a")), fact(pos("b"))
+        assert Component("c", [r1, r2]) == Component("c", [r2, r1])
+
+    def test_name_matters(self):
+        assert Component("c1", []) != Component("c2", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Component("", [])
+
+
+class TestOrderedProgram:
+    @pytest.fixture
+    def p1(self):
+        return OrderedProgram(
+            {
+                "c2": parse_rules(
+                    "bird(penguin). fly(X) :- bird(X). -ground_animal(X) :- bird(X)."
+                ),
+                "c1": parse_rules(
+                    "ground_animal(penguin). -fly(X) :- ground_animal(X)."
+                ),
+            },
+            [("c1", "c2")],
+        )
+
+    def test_component_lookup(self, p1):
+        assert len(p1.component("c2")) == 3
+        with pytest.raises(SemanticsError):
+            p1.component("zap")
+
+    def test_visible_components(self, p1):
+        assert [c.name for c in p1.visible_components("c1")] == ["c2", "c1"]
+        assert [c.name for c in p1.visible_components("c2")] == ["c2"]
+
+    def test_visible_rules_tagged(self, p1):
+        tags = {name for name, _ in p1.visible_rules("c1")}
+        assert tags == {"c1", "c2"}
+        assert len(p1.visible_rules("c1")) == 5
+
+    def test_single(self):
+        p = OrderedProgram.single(parse_rules("a :- b."))
+        assert p.component_names == {"main"}
+        assert p.visible_rules("main")[0][0] == "main"
+
+    def test_unknown_component_in_order(self):
+        with pytest.raises(SemanticsError):
+            OrderedProgram({"a": []}, [("a", "b")])
+
+    def test_cyclic_order_rejected(self):
+        with pytest.raises(OrderError):
+            OrderedProgram({"a": [], "b": []}, [("a", "b"), ("b", "a")])
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(SemanticsError):
+            OrderedProgram([Component("a", []), Component("a", [])])
+
+    def test_classification(self, p1):
+        assert not p1.is_seminegative
+        assert OrderedProgram.single(parse_rules("a :- b.")).is_positive
+
+    def test_with_component(self, p1):
+        extended = p1.with_component(Component("c0", []), below=["c1"])
+        assert extended.order.less("c0", "c2")  # transitively via c1
+        assert "c0" not in p1  # original untouched
+
+    def test_rule_count(self, p1):
+        assert p1.rule_count() == 5
+
+    def test_str_round_trippable(self, p1):
+        from repro.lang.parser import parse_program
+
+        assert parse_program(str(p1)) == p1

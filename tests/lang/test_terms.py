@@ -1,0 +1,138 @@
+"""Unit tests for terms (variables, constants, compound terms)."""
+
+import pytest
+
+from repro.lang.terms import (
+    Compound,
+    Constant,
+    Variable,
+    compound,
+    const,
+    term_depth,
+    term_from_python,
+    term_size,
+    var,
+    walk_terms,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_not_ground(self):
+        assert not Variable("X").is_ground
+
+    def test_variables_is_self(self):
+        assert Variable("X").variables() == frozenset({Variable("X")})
+
+    def test_str(self):
+        assert str(Variable("Rate")) == "Rate"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Variable("X").name = "Y"
+
+
+class TestConstant:
+    def test_symbol_equality(self):
+        assert Constant("penguin") == Constant("penguin")
+        assert Constant("penguin") != Constant("pigeon")
+
+    def test_integer_constant(self):
+        c = Constant(12)
+        assert c.is_integer
+        assert str(c) == "12"
+
+    def test_symbol_not_integer(self):
+        assert not Constant("a").is_integer
+
+    def test_int_and_symbol_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_ground(self):
+        assert Constant("a").is_ground
+        assert Constant("a").variables() == frozenset()
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(3.14)
+
+
+class TestCompound:
+    def test_construction(self):
+        t = compound("f", const("a"), var("X"))
+        assert t.functor == "f"
+        assert t.arity == 2
+        assert str(t) == "f(a, X)"
+
+    def test_groundness(self):
+        assert compound("f", const("a")).is_ground
+        assert not compound("f", var("X")).is_ground
+
+    def test_nested_variables(self):
+        t = compound("f", compound("g", var("X")), var("Y"))
+        assert t.variables() == frozenset({var("X"), var("Y")})
+
+    def test_equality_structural(self):
+        assert compound("f", const("a")) == compound("f", const("a"))
+        assert compound("f", const("a")) != compound("g", const("a"))
+        assert compound("f", const("a")) != compound("f", const("b"))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Compound("f", ())
+
+    def test_non_term_argument_rejected(self):
+        with pytest.raises(TypeError):
+            Compound("f", ("a",))
+
+
+class TestHelpers:
+    def test_term_from_python_uppercase_is_variable(self):
+        assert term_from_python("X") == Variable("X")
+        assert term_from_python("_x") == Variable("_x")
+
+    def test_term_from_python_lowercase_is_constant(self):
+        assert term_from_python("penguin") == Constant("penguin")
+
+    def test_term_from_python_int(self):
+        assert term_from_python(7) == Constant(7)
+
+    def test_term_from_python_passthrough(self):
+        t = compound("f", const("a"))
+        assert term_from_python(t) is t
+
+    def test_term_from_python_rejects_bool(self):
+        with pytest.raises(TypeError):
+            term_from_python(True)
+
+    def test_depth(self):
+        assert term_depth(const("a")) == 0
+        assert term_depth(var("X")) == 0
+        assert term_depth(compound("f", const("a"))) == 1
+        assert term_depth(compound("f", compound("g", const("a")))) == 2
+
+    def test_size(self):
+        assert term_size(const("a")) == 1
+        assert term_size(compound("f", const("a"), var("X"))) == 3
+
+    def test_walk_terms(self):
+        t = compound("f", compound("g", const("a")), var("X"))
+        walked = list(walk_terms(t))
+        assert walked[0] == t
+        assert const("a") in walked
+        assert var("X") in walked
+        assert len(walked) == 4

@@ -1,0 +1,109 @@
+"""Unit + property tests for program transformations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.semantics import OrderedSemantics
+from repro.lang.errors import OrderError, SemanticsError
+from repro.lang.transformations import flatten, merge, relabel, restrict
+from repro.workloads.paper import figure1, figure1_flat, figure2, figure3
+
+from ..properties.strategies import ordered_programs
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+class TestFlatten:
+    def test_reproduces_example2(self):
+        # flatten(P1) is exactly the paper's P̂1.
+        flat = flatten(figure1(), name="c")
+        assert flat == figure1_flat()
+
+    def test_changes_the_meaning(self):
+        sem_ordered = OrderedSemantics(figure1(), "c1")
+        sem_flat = OrderedSemantics(flatten(figure1()), "flat")
+        assert sem_ordered.holds("-fly(penguin)")
+        assert sem_flat.undefined("fly(penguin)")
+
+    @SETTINGS
+    @given(ordered_programs())
+    def test_flat_program_has_one_component(self, program):
+        flat = flatten(program)
+        assert len(flat) == 1
+        assert flat.rule_count() <= program.rule_count()  # set collapse
+
+
+class TestRestrict:
+    def test_keeps_upset_only(self):
+        restricted = restrict(figure3(()), "c3")
+        assert restricted.component_names == {"c3", "c4"}
+        assert restricted.order.less("c3", "c4")
+
+    def test_meaning_preserved_for_the_component(self):
+        program = figure3(("inflation(19).", "loan_rate(16)."))
+        full = OrderedSemantics(program, "c1")
+        small = OrderedSemantics(restrict(program, "c1"), "c1")
+        assert full.least_model == small.least_model
+
+    def test_unknown_component(self):
+        with pytest.raises(SemanticsError):
+            restrict(figure1(), "zap")
+
+    @SETTINGS
+    @given(ordered_programs())
+    def test_meaning_preserved_property(self, program):
+        for name in sorted(program.component_names):
+            full = OrderedSemantics(program, name)
+            small = OrderedSemantics(restrict(program, name), name)
+            assert full.least_model.literals == small.least_model.literals
+
+
+class TestMerge:
+    def test_disjoint_union(self):
+        merged = merge(figure1(), relabel(figure2(), {
+            "c1": "d1", "c2": "d2", "c3": "d3",
+        }))
+        assert len(merged) == 5
+        assert merged.order.less("c1", "c2")
+        assert merged.order.less("d1", "d2")
+
+    def test_extra_order_connects(self):
+        renamed = relabel(figure2(), {"c1": "d1", "c2": "d2", "c3": "d3"})
+        merged = merge(figure1(), renamed, extra_order=[("d1", "c2")])
+        assert merged.order.less("d1", "c2")
+        # d1 now inherits figure1's general bird knowledge.
+        sem = OrderedSemantics(merged, "d1")
+        assert sem.holds("fly(pigeon)")
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SemanticsError):
+            merge(figure1(), figure1())
+
+    def test_cycle_in_extra_order_rejected(self):
+        renamed = relabel(figure1(), {"c1": "d1", "c2": "d2"})
+        with pytest.raises(OrderError):
+            merge(
+                figure1(),
+                renamed,
+                extra_order=[("c1", "d2"), ("d2", "c1")],
+            )
+
+
+class TestRelabel:
+    def test_renames_components_and_order(self):
+        renamed = relabel(figure1(), {"c1": "specific", "c2": "general"})
+        assert renamed.component_names == {"specific", "general"}
+        assert renamed.order.less("specific", "general")
+
+    def test_partial_mapping(self):
+        renamed = relabel(figure1(), {"c1": "me"})
+        assert renamed.component_names == {"me", "c2"}
+
+    def test_collision_rejected(self):
+        with pytest.raises(SemanticsError):
+            relabel(figure1(), {"c1": "c2"})
+
+    def test_meaning_invariant_under_relabelling(self):
+        renamed = relabel(figure1(), {"c1": "specific", "c2": "general"})
+        sem = OrderedSemantics(renamed, "specific")
+        assert sem.holds("-fly(penguin)")

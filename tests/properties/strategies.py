@@ -1,0 +1,65 @@
+"""Hypothesis strategies for random ground programs.
+
+Programs are propositional over a small atom pool so that exhaustive
+(3^n) model enumeration stays cheap inside property tests; the
+definitions being verified are insensitive to arity (grounding is
+tested separately).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.lang.literals import Atom, Literal
+from repro.lang.program import Component, OrderedProgram
+from repro.lang.rules import Rule
+
+ATOM_POOL = [Atom(f"p{i}") for i in range(4)]
+
+atoms = st.sampled_from(ATOM_POOL)
+literals = st.builds(Literal, atoms, st.booleans())
+
+
+@st.composite
+def ground_rules(draw, min_rules=1, max_rules=6, max_body=2, seminegative=False):
+    """A list of ground propositional rules."""
+    count = draw(st.integers(min_rules, max_rules))
+    rules = []
+    for _ in range(count):
+        if seminegative:
+            head = Literal(draw(atoms), True)
+        else:
+            head = draw(literals)
+        body_size = draw(st.integers(0, max_body))
+        body = tuple(draw(literals) for _ in range(body_size))
+        rules.append(Rule(head, body))
+    return rules
+
+
+@st.composite
+def negative_programs(draw):
+    """A ground negative program guaranteed to have a negative rule."""
+    rules = draw(ground_rules(min_rules=1, max_rules=5))
+    if all(r.head.positive for r in rules):
+        first = rules[0]
+        rules[0] = Rule(first.head.complement(), first.body)
+    return rules
+
+
+@st.composite
+def ordered_programs(draw, max_components=3, max_rules=7):
+    """A random ground ordered program with an acyclic order."""
+    n_components = draw(st.integers(1, max_components))
+    names = [f"c{i}" for i in range(n_components)]
+    rules = draw(ground_rules(min_rules=1, max_rules=max_rules))
+    buckets = {name: [] for name in names}
+    for r in rules:
+        buckets[draw(st.sampled_from(names))].append(r)
+    pairs = []
+    for i in range(n_components):
+        for j in range(i + 1, n_components):
+            if draw(st.booleans()):
+                pairs.append((names[i], names[j]))
+    return OrderedProgram(
+        [Component(name, bucket) for name, bucket in buckets.items()], pairs
+    )

@@ -1,0 +1,68 @@
+"""Property tests for the explainer: every least-model literal has a
+well-founded derivation; everything else gets a diagnosis."""
+
+from hypothesis import given, settings
+
+from repro.core.interpretation import TruthValue
+from repro.core.semantics import OrderedSemantics
+from repro.explain.trace import Explainer
+from repro.lang.literals import Literal
+
+from .strategies import ordered_programs
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_every_member_has_a_derivation(program):
+    for name in sorted(program.component_names):
+        sem = OrderedSemantics(program, name)
+        explainer = Explainer(sem)
+        for literal in sem.least_model:
+            derivation = explainer.why(literal)
+            assert derivation.literal == literal
+            # Premises are members too, with strictly smaller stages.
+            stack = [derivation]
+            while stack:
+                node = stack.pop()
+                assert node.literal in sem.least_model
+                for premise in node.premises:
+                    assert premise.stage < node.stage
+                    stack.append(premise)
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_derivation_rules_are_genuine_support(program):
+    for name in sorted(program.component_names):
+        sem = OrderedSemantics(program, name)
+        explainer = Explainer(sem)
+        model = sem.least_model
+        ev = sem.evaluator
+        for literal in model:
+            derivation = explainer.why(literal)
+            r = derivation.rule
+            assert r.head == literal
+            assert ev.applied(r, model)
+            assert not ev.overruled(r, model)
+            assert not ev.defeated(r, model)
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_why_not_never_crashes_and_classifies(program):
+    valid_reasons = {"unmet-body", "blocked", "overruled", "defeated"}
+    for name in sorted(program.component_names):
+        sem = OrderedSemantics(program, name)
+        explainer = Explainer(sem)
+        model = sem.least_model
+        for atom in sorted(sem.ground.base, key=str):
+            for literal in (Literal(atom, True), Literal(atom, False)):
+                if model.value(literal) is TruthValue.TRUE:
+                    continue
+                report = explainer.why_not(literal)
+                for failure in report.failures:
+                    assert failure.reason in valid_reasons, failure
+                if model.value(literal) is TruthValue.FALSE:
+                    assert report.complement_derivation is not None

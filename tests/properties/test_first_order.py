@@ -1,0 +1,94 @@
+"""End-to-end property tests on *first-order* random programs:
+grounding + ordered semantics together (the other property files use
+propositional programs to keep 3^n enumeration cheap)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import OrderedSemantics
+from repro.grounding.grounder import Grounder
+from repro.lang.literals import Atom, Literal
+from repro.lang.program import Component, OrderedProgram
+from repro.lang.rules import Rule
+from repro.lang.terms import Constant, Variable
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+PREDICATES = ["p", "q"]
+CONSTANTS = [Constant("a"), Constant("b")]
+VARIABLES = [Variable("X"), Variable("Y")]
+
+terms = st.sampled_from(CONSTANTS + VARIABLES)
+atoms = st.builds(lambda p, t: Atom(p, (t,)), st.sampled_from(PREDICATES), terms)
+literals = st.builds(Literal, atoms, st.booleans())
+
+
+@st.composite
+def first_order_programs(draw):
+    n_rules = draw(st.integers(1, 5))
+    rules = []
+    for _ in range(n_rules):
+        head = draw(literals)
+        body = tuple(draw(literals) for _ in range(draw(st.integers(0, 2))))
+        rules.append(Rule(head, body))
+    n_components = draw(st.integers(1, 2))
+    names = [f"c{i}" for i in range(n_components)]
+    buckets = {name: [] for name in names}
+    for r in rules:
+        buckets[draw(st.sampled_from(names))].append(r)
+    pairs = [
+        (names[0], names[1])
+    ] if n_components == 2 and draw(st.booleans()) else []
+    return OrderedProgram(
+        [Component(n, b) for n, b in buckets.items()], pairs
+    )
+
+
+@SETTINGS
+@given(first_order_programs())
+def test_grounding_is_closed_over_the_base(program):
+    for name in program.component_names:
+        sem = OrderedSemantics(program, name)
+        for r in sem.ground.rules:
+            assert r.head.atom in sem.ground.base
+            for l in r.body:
+                assert l.atom in sem.ground.base
+
+
+@SETTINGS
+@given(first_order_programs())
+def test_least_model_is_model_and_af_first_order(program):
+    for name in program.component_names:
+        sem = OrderedSemantics(program, name)
+        least = sem.least_model
+        assert sem.is_model(least)
+        assert sem.assumptions.is_assumption_free(least)
+        assert sem.assumptions.t_least_fixpoint(least) == least.literals
+
+
+@SETTINGS
+@given(first_order_programs())
+def test_ground_instance_count_bounds(program):
+    # Each rule has at most 2 variables over a 2-constant universe:
+    # at most 4 instances (guards absent), minus guard-free dedup.
+    grounder = Grounder()
+    for name in program.component_names:
+        sem = OrderedSemantics(program, name)
+        visible = program.visible_rules(name)
+        assert len(sem.ground.rules) <= 4 * len(visible)
+
+
+@SETTINGS
+@given(first_order_programs())
+def test_upper_view_grounds_inside_lower_view(program):
+    # When the upper component's Herbrand universe coincides with the
+    # lower's (same constants), every rule instance the upper view
+    # produces is also an instance of the lower view (C* grows
+    # downwards, Definition 1b).
+    for name in program.component_names:
+        sem = OrderedSemantics(program, name)
+        for upper in program.order.strictly_above(name):
+            upper_sem = OrderedSemantics(program, upper)
+            if upper_sem.ground.universe.terms == sem.ground.universe.terms:
+                assert set(upper_sem.ground.rules) <= set(sem.ground.rules)
+                assert upper_sem.ground.base <= sem.ground.base

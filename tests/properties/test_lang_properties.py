@@ -1,0 +1,177 @@
+"""Property-based tests of the language layer: parser/printer round
+trips, substitution laws, unification, and partial-order laws."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.grounding.substitution import Substitution, match, unify
+from repro.lang.literals import Atom, Literal
+from repro.lang.parser import parse_program, parse_rule
+from repro.lang.poset import PartialOrder
+from repro.lang.printer import render_program
+from repro.lang.program import Component, OrderedProgram
+from repro.lang.rules import Rule
+from repro.lang.terms import Compound, Constant, Term, Variable
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+# ----------------------------------------------------------------------
+# Term strategies (first-order, for parse round trips and unification)
+# ----------------------------------------------------------------------
+
+constant_names = st.text(string.ascii_lowercase, min_size=1, max_size=4)
+variable_names = st.sampled_from(["X", "Y", "Z", "W"])
+
+terms = st.recursive(
+    st.one_of(
+        st.builds(Constant, constant_names),
+        st.builds(Constant, st.integers(-50, 50)),
+        st.builds(Variable, variable_names),
+    ),
+    lambda children: st.builds(
+        lambda f, args: Compound(f, tuple(args)),
+        constant_names,
+        st.lists(children, min_size=1, max_size=2),
+    ),
+    max_leaves=5,
+)
+
+atoms = st.builds(
+    lambda p, args: Atom(p, tuple(args)),
+    constant_names,
+    st.lists(terms, max_size=2),
+)
+literals = st.builds(Literal, atoms, st.booleans())
+rules = st.builds(
+    lambda head, body: Rule(head, tuple(body)),
+    literals,
+    st.lists(literals, max_size=3),
+)
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(1, 3))
+    comps = []
+    for i in range(n):
+        comp_rules = draw(st.lists(rules, max_size=4))
+        comps.append(Component(f"c{i}", comp_rules))
+    pairs = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                pairs.append((f"c{i}", f"c{j}"))
+    return OrderedProgram(comps, pairs)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+@SETTINGS
+@given(rules)
+def test_rule_parse_render_round_trip(r):
+    assert parse_rule(str(r)) == r
+
+
+@SETTINGS
+@given(programs())
+def test_program_parse_render_round_trip(program):
+    assert parse_program(render_program(program)) == program
+
+
+# ----------------------------------------------------------------------
+# Substitutions and unification
+# ----------------------------------------------------------------------
+
+ground_terms = terms.filter(lambda t: t.is_ground)
+
+
+@SETTINGS
+@given(terms, st.dictionaries(st.builds(Variable, variable_names), ground_terms, max_size=4))
+def test_substitution_grounds_covered_variables(term, mapping):
+    theta = Substitution(mapping)
+    applied = theta.apply_term(term)
+    remaining = applied.variables()
+    assert remaining == term.variables() - set(mapping)
+
+
+@SETTINGS
+@given(terms, st.dictionaries(st.builds(Variable, variable_names), ground_terms, min_size=4, max_size=4))
+def test_match_recovers_instance(pattern, mapping):
+    theta = Substitution(mapping)
+    target = theta.apply_term(pattern)
+    assume(target.is_ground)
+    found = match(pattern, target)
+    assert found is not None
+    assert found.apply_term(pattern) == target
+
+
+@SETTINGS
+@given(terms, terms)
+def test_unify_produces_common_instance(a, b):
+    theta = unify(a, b)
+    if theta is not None:
+        assert theta.apply_term(a) == theta.apply_term(b)
+
+
+@SETTINGS
+@given(terms, terms)
+def test_unify_symmetric_in_success(a, b):
+    assert (unify(a, b) is None) == (unify(b, a) is None)
+
+
+# ----------------------------------------------------------------------
+# Partial orders
+# ----------------------------------------------------------------------
+
+@st.composite
+def posets(draw):
+    n = draw(st.integers(1, 6))
+    po = PartialOrder(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                po.add_pair(i, j)
+    return po
+
+
+@SETTINGS
+@given(posets())
+def test_poset_is_strict_order(po):
+    for a in po:
+        assert not po.less(a, a)
+        for b in po:
+            if po.less(a, b):
+                assert not po.less(b, a)
+            for c in po:
+                if po.less(a, b) and po.less(b, c):
+                    assert po.less(a, c)
+
+
+@SETTINGS
+@given(posets())
+def test_poset_trichotomy(po):
+    for a in po:
+        for b in po:
+            if a == b:
+                continue
+            states = [po.less(a, b), po.less(b, a), po.incomparable(a, b)]
+            assert sum(states) == 1
+
+
+@SETTINGS
+@given(posets())
+def test_covering_pairs_regenerate_closure(po):
+    rebuilt = PartialOrder(po.elements, po.covering_pairs())
+    assert rebuilt.pairs() == po.pairs()
+
+
+@SETTINGS
+@given(posets())
+def test_topological_respects_order(po):
+    order = po.topological()
+    for low, high in po.pairs():
+        assert order.index(high) < order.index(low)

@@ -1,0 +1,55 @@
+"""Property tests for the linter: its findings are semantically real —
+a flagged rule is overruled/defeated under *every* interpretation."""
+
+from hypothesis import given, settings
+
+from repro.analysis.lint import lint_component
+from repro.core.semantics import OrderedSemantics
+
+from .strategies import ordered_programs
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+@SETTINGS
+@given(ordered_programs(max_components=3, max_rules=7))
+def test_findings_hold_in_the_least_model(program):
+    for name in sorted(program.component_names):
+        sem = OrderedSemantics(program, name)
+        least = sem.least_model
+        for finding in lint_component(sem):
+            if finding.kind == "permanently-overruled":
+                assert sem.evaluator.overruled(finding.rule, least)
+            else:
+                assert sem.evaluator.defeated(finding.rule, least)
+
+
+@SETTINGS
+@given(ordered_programs(max_components=2, max_rules=5))
+def test_findings_hold_in_every_assumption_free_model(program):
+    # "Permanently" is relative to derivable truth: an arbitrary
+    # Definition-3 model may contain a non-derivable blocker (Example
+    # 3's {b}), but every literal of an *assumption-free* model is the
+    # head of an applied rule, so a witness whose body complements head
+    # no rule stays non-blocked in all of them.
+    for name in sorted(program.component_names):
+        sem = OrderedSemantics(program, name)
+        findings = list(lint_component(sem))
+        if not findings:
+            continue
+        for m in sem.assumption_free_models():
+            for finding in findings:
+                if finding.kind == "permanently-overruled":
+                    assert sem.evaluator.overruled(finding.rule, m)
+                else:
+                    assert sem.evaluator.defeated(finding.rule, m)
+
+
+@SETTINGS
+@given(ordered_programs(max_components=2, max_rules=5))
+def test_witnesses_are_never_facts(program):
+    for name in sorted(program.component_names):
+        sem = OrderedSemantics(program, name)
+        for finding in lint_component(sem):
+            assert not finding.witness.is_fact
+            assert finding.unblockable

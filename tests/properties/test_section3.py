@@ -1,0 +1,145 @@
+"""Property-based verification of Section 3: Propositions 3–5 and
+Corollary 1, relating the models of ``OV(C)`` / ``EV(C)`` in ``C`` to
+the classical 3-valued / founded / stable models of a seminegative
+program ``C``."""
+
+from hypothesis import given, settings
+
+from repro.classical.stable import founded_models, gl_stable_models
+from repro.classical.stable import stable_models as sz_stable_models
+from repro.classical.threevalued import is_three_valued_model, three_valued_models
+from repro.classical.wellfounded import well_founded
+from repro.core.interpretation import Interpretation
+from repro.grounding.grounder import Grounder
+from repro.reductions.extended_version import extended_version
+from repro.reductions.ordered_version import ordered_version
+
+from .strategies import ground_rules
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+seminegative = ground_rules(min_rules=1, max_rules=5, seminegative=True)
+
+
+def classical_and_ov(rules):
+    ground = Grounder().ground_rules(rules)
+    sem = ordered_version(rules).semantics()
+    assert sem.ground.base == ground.base
+    return ground, sem
+
+
+def classical_and_ev(rules):
+    ground = Grounder().ground_rules(rules)
+    sem = extended_version(rules).semantics()
+    assert sem.ground.base == ground.base
+    return ground, sem
+
+
+@SETTINGS
+@given(seminegative)
+def test_proposition3_ov_models_are_three_valued_models(rules):
+    ground, sem = classical_and_ov(rules)
+    for m in sem.models():
+        assert is_three_valued_model(ground.rules, m)
+
+
+@SETTINGS
+@given(seminegative)
+def test_proposition4_af_ov_iff_founded(rules):
+    ground, sem = classical_and_ov(rules)
+    af_ov = {m.literals for m in sem.assumption_free_models()}
+    founded = {m.literals for m in founded_models(ground.rules, ground.base)}
+    assert af_ov == founded
+
+
+@SETTINGS
+@given(seminegative)
+def test_corollary1_stable_models_coincide(rules):
+    ground, sem = classical_and_ov(rules)
+    via_ov = {m.literals for m in sem.stable_models()}
+    via_sz = {m.literals for m in sz_stable_models(ground.rules, ground.base)}
+    assert via_ov == via_sz
+
+
+@SETTINGS
+@given(seminegative)
+def test_proposition5a_ev_models_are_exactly_three_valued_models(rules):
+    ground, sem = classical_and_ev(rules)
+    via_ev = {m.literals for m in sem.models()}
+    via_3v = {
+        m.literals for m in three_valued_models(ground.rules, ground.base)
+    }
+    assert via_ev == via_3v
+
+
+@SETTINGS
+@given(seminegative)
+def test_proposition5b_af_ov_subset_af_ev(rules):
+    _, ov = classical_and_ov(rules)
+    _, ev = classical_and_ev(rules)
+    af_ov = {m.literals for m in ov.assumption_free_models()}
+    af_ev = {m.literals for m in ev.assumption_free_models()}
+    assert af_ov <= af_ev
+
+
+@SETTINGS
+@given(seminegative)
+def test_proposition5c_af_ev_below_some_af_ov(rules):
+    _, ov = classical_and_ov(rules)
+    _, ev = classical_and_ev(rules)
+    af_ov = [m.literals for m in ov.assumption_free_models()]
+    for m in ev.assumption_free_models():
+        assert any(m.literals <= other for other in af_ov)
+
+
+@SETTINGS
+@given(seminegative)
+def test_proposition5d_stable_models_coincide(rules):
+    _, ov = classical_and_ov(rules)
+    _, ev = classical_and_ev(rules)
+    assert {m.literals for m in ov.stable_models()} == {
+        m.literals for m in ev.stable_models()
+    }
+
+
+@SETTINGS
+@given(seminegative)
+def test_total_sz_stable_are_exactly_gl_stable(rules):
+    # The paper: "if M is total then M is stable also according to the
+    # definition of [GL1]".
+    ground = Grounder().ground_rules(rules)
+    sz_total = {
+        m.literals
+        for m in sz_stable_models(ground.rules, ground.base)
+        if m.is_total
+    }
+    gl = {m.literals for m in gl_stable_models(ground.rules, ground.base)}
+    assert sz_total == gl
+
+
+@SETTINGS
+@given(seminegative)
+def test_well_founded_model_is_founded_and_least(rules):
+    # [P3]: the well-founded model is the least 3-valued stable (founded)
+    # model — it must be founded and contained in every founded model
+    # that extends it... at minimum it is founded and contained in every
+    # SZ-stable model.
+    ground = Grounder().ground_rules(rules)
+    wf = well_founded(ground.rules, ground.base)
+    interp = wf.as_interpretation(ground.base)
+    from repro.classical.stable import is_founded
+
+    assert is_founded(ground.rules, interp)
+    for m in sz_stable_models(ground.rules, ground.base):
+        assert interp.literals <= m.literals
+
+
+@SETTINGS
+@given(seminegative)
+def test_ov_least_model_positive_part_inside_wf_true(rules):
+    # The ordered least model is assumption-free, hence inside every
+    # stable model; compare its positive part with the WF true set.
+    ground, sem = classical_and_ov(rules)
+    wf = well_founded(ground.rules, ground.base)
+    interp = wf.as_interpretation(ground.base)
+    assert sem.least_model.literals <= interp.literals

@@ -1,0 +1,110 @@
+"""Property-based laws of Definition 2's statuses.
+
+These are the small invariants every other module leans on: blocked
+and applicable are exclusive, applied implies applicable, the stronger
+overruling of Definition 3(a) implies Definition 2's, and defeat is
+symmetric between non-blocked same-component contradictors."""
+
+from hypothesis import given, settings
+
+from repro.core.interpretation import Interpretation
+from repro.core.semantics import OrderedSemantics
+
+from .strategies import ordered_programs
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def components_and_interps(program, rng_draws=3):
+    """Each component with its least model and a couple of other
+    interpretations."""
+    for name in sorted(program.component_names):
+        sem = OrderedSemantics(program, name)
+        least = sem.least_model
+        yield sem, Interpretation((), sem.ground.base)
+        yield sem, least
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_blocked_and_applicable_exclusive(program):
+    for sem, interp in components_and_interps(program):
+        ev = sem.evaluator
+        for r in sem.ground.rules:
+            assert not (ev.applicable(r, interp) and ev.blocked(r, interp))
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_applied_implies_applicable(program):
+    for sem, interp in components_and_interps(program):
+        ev = sem.evaluator
+        for r in sem.ground.rules:
+            if ev.applied(r, interp):
+                assert ev.applicable(r, interp)
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_overruled_by_applied_implies_overruled(program):
+    for sem, interp in components_and_interps(program):
+        ev = sem.evaluator
+        for r in sem.ground.rules:
+            if ev.overruled_by_applied(r, interp):
+                assert ev.overruled(r, interp)
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_same_component_defeat_is_symmetric(program):
+    for sem, interp in components_and_interps(program):
+        ev = sem.evaluator
+        for r in sem.ground.rules:
+            for other in ev.contradictors(r):
+                if other.component != r.component:
+                    continue
+                if ev.blocked(r, interp) or ev.blocked(other, interp):
+                    continue
+                assert ev.defeated(r, interp) and ev.defeated(other, interp)
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_report_agrees_with_predicates(program):
+    for sem, interp in components_and_interps(program):
+        ev = sem.evaluator
+        for r in sem.ground.rules:
+            report = ev.report(r, interp)
+            assert report.applicable == ev.applicable(r, interp)
+            assert report.applied == ev.applied(r, interp)
+            assert report.blocked == ev.blocked(r, interp)
+            assert report.overruled == ev.overruled(r, interp)
+            assert report.defeated == ev.defeated(r, interp)
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_snapshot_agrees_with_per_call_methods(program):
+    for sem, interp in components_and_interps(program):
+        ev = sem.evaluator
+        snapshot = ev.snapshot(interp)
+        for r in sem.ground.rules:
+            assert snapshot.blocked(r) == ev.blocked(r, interp)
+            assert snapshot.applicable(r) == ev.applicable(r, interp)
+            assert snapshot.applied(r) == ev.applied(r, interp)
+            assert snapshot.overruled(r) == ev.overruled(r, interp)
+            assert snapshot.defeated(r) == ev.defeated(r, interp)
+            assert snapshot.overruled_by_applied(r) == ev.overruled_by_applied(
+                r, interp
+            )
+
+
+@SETTINGS
+@given(ordered_programs())
+def test_facts_are_never_blocked(program):
+    for sem, interp in components_and_interps(program):
+        ev = sem.evaluator
+        for r in sem.ground.rules:
+            if r.is_fact:
+                assert not ev.blocked(r, interp)
+                assert ev.applicable(r, interp)

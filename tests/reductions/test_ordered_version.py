@@ -1,0 +1,65 @@
+"""Unit tests for OV(C) — structure and the Section-3 anchor examples."""
+
+from repro.core.interpretation import Interpretation
+from repro.lang.literals import pos
+from repro.lang.parser import parse_rules
+from repro.reductions.ordered_version import cwa_rules, ordered_version
+from repro.workloads.paper import example6_ancestor, example7
+
+
+class TestStructure:
+    def test_two_components(self):
+        reduced = ordered_version(parse_rules("a :- b."))
+        assert reduced.program.component_names == {"c", "cwa"}
+        assert reduced.program.order.less("c", "cwa")
+        assert reduced.component == "c"
+
+    def test_cwa_rules_cover_signatures(self):
+        rules = cwa_rules({("p", 2), ("q", 0)})
+        rendered = sorted(str(r) for r in rules)
+        assert rendered == ["-p(X1, X2).", "-q."]
+
+    def test_cwa_rules_are_negative_facts(self):
+        for r in cwa_rules({("p", 1)}):
+            assert r.has_negative_head and not r.body
+
+
+class TestExample7:
+    """C = {p <- -p}: {p} is a 3-valued model of C but NOT a model of
+    OV(C) in C."""
+
+    def test_p_not_a_model_of_ov(self):
+        sem = ordered_version(example7()).semantics()
+        m = Interpretation([pos("p")], sem.ground.base)
+        assert not sem.is_model(m)
+
+    def test_reason_is_unoverruled_cwa(self):
+        sem = ordered_version(example7()).semantics()
+        m = sem.interpretation(["p"])
+        why = sem.checker.why_not_model(m)
+        assert "condition (a)" in why
+
+    def test_least_model_leaves_p_undefined(self):
+        sem = ordered_version(example7()).semantics()
+        assert sem.undefined("p")
+
+
+class TestAncestorExample6:
+    def test_cwa_closes_the_relation(self):
+        sem = ordered_version(example6_ancestor()).semantics()
+        assert sem.holds("anc(adam, enoch)")
+        assert sem.holds("-anc(enoch, adam)")
+        assert sem.holds("-parent(abel, cain)")
+
+    def test_least_model_total(self):
+        sem = ordered_version(example6_ancestor()).semantics()
+        assert sem.least_model.is_total
+
+    def test_positive_part_is_minimal_model(self):
+        from repro.classical.positive import minimal_model
+        from repro.grounding.grounder import Grounder
+
+        rules = example6_ancestor()
+        sem = ordered_version(rules).semantics()
+        classical = minimal_model(Grounder().ground_rules(rules).rules)
+        assert sem.least_model.true_atoms() == classical

@@ -1,0 +1,137 @@
+"""Unit tests for the ``olp`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.lang.printer import render_program
+from repro.workloads.paper import figure1, figure2
+
+
+@pytest.fixture
+def figure1_file(tmp_path):
+    path = tmp_path / "figure1.olp"
+    path.write_text(render_program(figure1()))
+    return str(path)
+
+
+@pytest.fixture
+def figure2_file(tmp_path):
+    path = tmp_path / "figure2.olp"
+    path.write_text(render_program(figure2()))
+    return str(path)
+
+
+class TestRun:
+    def test_least_model_default(self, figure1_file, capsys):
+        assert main(["run", figure1_file, "-c", "c1"]) == 0
+        out = capsys.readouterr().out
+        assert "-fly(penguin)" in out
+        assert "fly(pigeon)" in out
+
+    def test_component_defaults_to_unique_minimal(self, figure1_file, capsys):
+        assert main(["run", figure1_file]) == 0
+        assert "component c1" in capsys.readouterr().out
+
+    def test_ambiguous_minimal_component_errors(self, tmp_path, capsys):
+        path = tmp_path / "two.olp"
+        path.write_text("component a { p. }\ncomponent b { q. }\n")
+        assert main(["run", str(path)]) == 2
+        assert "pick one with -c" in capsys.readouterr().err
+
+    def test_stable_enumeration(self, figure2_file, capsys):
+        assert main(["run", figure2_file, "-c", "c1", "--semantics", "stable"]) == 0
+        out = capsys.readouterr().out
+        assert "1 stable model(s)" in out
+
+    def test_json_output(self, figure1_file, capsys):
+        import json
+
+        assert main(["run", figure1_file, "-c", "c1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["component"] == "c1"
+        assert payload["semantics"] == "least"
+        literals = payload["models"][0]["literals"]
+        assert any(
+            l["pred"] == "fly" and not l["positive"] for l in literals
+        )
+
+    def test_json_stable(self, figure2_file, capsys):
+        import json
+
+        assert main(
+            ["run", figure2_file, "-c", "c1", "--semantics", "stable", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["models"]) == 1
+        assert payload["models"][0]["literals"] == []
+
+    def test_explain_shows_hierarchy(self, figure1_file, capsys):
+        assert main(["explain", figure1_file, "-c", "c1"]) == 0
+        out = capsys.readouterr().out
+        assert "c1 --> c2" in out
+
+    def test_undefined_reported(self, figure2_file, capsys):
+        assert main(["run", figure2_file, "-c", "c1"]) == 0
+        assert "undefined:" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.olp"]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.olp"
+        path.write_text("p :- .")
+        assert main(["run", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_match(self, figure1_file, capsys):
+        assert main(["query", figure1_file, "-c", "c1", "-q", "fly(X)"]) == 0
+        assert "fly(pigeon)" in capsys.readouterr().out
+
+    def test_query_no_answer(self, figure1_file, capsys):
+        assert main(["query", figure1_file, "-c", "c1", "-q", "swims(X)"]) == 1
+        assert "no" in capsys.readouterr().out
+
+
+class TestWhy:
+    def test_why_derivation(self, figure1_file, capsys):
+        assert main(["why", figure1_file, "-c", "c1", "-q", "fly(pigeon)"]) == 0
+        out = capsys.readouterr().out
+        assert "via" in out and "bird(pigeon)" in out
+
+    def test_why_failure(self, figure1_file, capsys):
+        assert main(["why", figure1_file, "-c", "c1", "-q", "fly(penguin)"]) == 0
+        assert "overruled" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_clean_program(self, figure1_file, capsys):
+        assert main(["lint", figure1_file]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.olp"
+        path.write_text(
+            """
+            component general { fly(X) :- bird(X). bird(tweety). }
+            component specific { -fly(X) :- penguin(X). }
+            order specific < general.
+            """
+        )
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "permanently overruled" in out
+        assert "finding(s)" in out
+
+
+class TestExplainAndStats:
+    def test_explain(self, figure1_file, capsys):
+        assert main(["explain", figure1_file, "-c", "c1"]) == 0
+        out = capsys.readouterr().out
+        assert "rule statuses" in out
+        assert "overruling pair" in out
+
+    def test_stats(self, figure1_file, capsys):
+        assert main(["stats", figure1_file]) == 0
+        assert "2 components" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""End-to-end integration scenarios exercising several subsystems at
+once: parsing, KB shell with negation conventions, semantics, explain,
+serialization, analysis and the CLI, all on one realistic knowledge
+base."""
+
+import json
+
+import pytest
+
+from repro import Explainer, KnowledgeBase, OrderedSemantics, parse_program
+from repro.analysis import conflict_summary, program_stats, render_hasse
+from repro.cli import main
+from repro.kb.query import QueryMode
+from repro.lang.printer import render_program
+from repro.serialize import dumps_program, loads_program
+
+
+@pytest.fixture
+def policy_kb():
+    """An access-control knowledge base: defaults, exceptions,
+    delegated authority and an audit revision."""
+    kb = KnowledgeBase()
+    # Specificity chain: each exception lives strictly BELOW the rule it
+    # excepts, so it overrules rather than mutually defeats.
+    kb.define(
+        "org_policy",
+        """
+        % Documents are accessible by default, nothing is classified and
+        % nobody is cleared by default (closures for the layers below).
+        access(U, D) :- user(U), document(D).
+        -classified(D) :- document(D).
+        -cleared(U) :- user(U).
+        """,
+    )
+    kb.define(
+        "security_office",
+        """
+        classified(budget).
+        -access(U, D) :- user(U), classified(D).
+        """,
+        isa=["org_policy"],
+    )
+    kb.define(
+        "clearance_desk",
+        "access(U, D) :- cleared(U), classified(D).",
+        isa=["security_office"],
+    )
+    kb.define(
+        "hr",
+        """
+        user(ana).
+        user(bob).
+        document(handbook).
+        document(budget).
+        cleared(ana).
+        """,
+        isa=["clearance_desk"],
+    )
+    return kb
+
+
+class TestPolicyScenario:
+    def test_defaults_and_exceptions(self, policy_kb):
+        assert policy_kb.ask("hr", "access(bob, handbook)")
+        assert policy_kb.ask("hr", "-access(bob, budget)")
+
+    def test_clearance_overrules_classification_ban(self, policy_kb):
+        assert policy_kb.ask("hr", "access(ana, budget)")
+
+    def test_query_all_access(self, policy_kb):
+        answers = policy_kb.query("hr", "access(U, D)")
+        pairs = {str(a.literal) for a in answers}
+        assert pairs == {
+            "access(ana, handbook)",
+            "access(bob, handbook)",
+            "access(ana, budget)",
+        }
+
+    def test_audit_revision_withdraws_clearance(self, policy_kb):
+        policy_kb.derive("audit", "hr", "-cleared(U) :- under_review(U).")
+        policy_kb.tell("audit", "under_review(ana).")
+        # During the review Ana's clearance flips, and with it her
+        # access to the budget document.
+        assert policy_kb.ask("audit", "-cleared(ana)")
+        assert policy_kb.ask("audit", "-access(ana, budget)")
+        # The unrevised view is untouched.
+        assert policy_kb.ask("hr", "access(ana, budget)")
+
+    def test_skeptical_equals_cautious_here(self, policy_kb):
+        # The policy KB is conflict-free at hr: one stable model.
+        sem = policy_kb.view("hr")
+        assert sem.stable_models() == [sem.least_model]
+        assert policy_kb.ask("hr", "access(ana, budget)", QueryMode.SKEPTICAL)
+
+    def test_explanations(self, policy_kb):
+        explainer = Explainer(policy_kb.view("hr"))
+        derivation = explainer.why("access(ana, budget)")
+        rendered = derivation.render()
+        assert "cleared(ana)" in rendered
+        report = explainer.why_not("access(bob, budget)")
+        assert "overruled" in report.render() or "its complement" in report.render()
+
+    def test_analysis(self, policy_kb):
+        program = policy_kb.program()
+        stats = program_stats(program)
+        assert stats.components == 4
+        hasse = render_hasse(program)
+        assert "hr --> clearance_desk" in hasse
+        summary = conflict_summary(policy_kb.view("hr"))
+        assert summary["overrule"] > 0
+
+    def test_program_round_trips_through_text_and_json(self, policy_kb):
+        program = policy_kb.program()
+        assert parse_program(render_program(program)) == program
+        assert loads_program(dumps_program(program)) == program
+
+    def test_cli_on_the_same_program(self, policy_kb, tmp_path, capsys):
+        path = tmp_path / "policy.olp"
+        path.write_text(render_program(policy_kb.program()))
+        assert main(["run", str(path), "-c", "hr"]) == 0
+        out = capsys.readouterr().out
+        assert "access(ana, budget)" in out
+        assert main(["run", str(path), "-c", "hr", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["component"] == "hr"

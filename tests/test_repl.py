@@ -1,0 +1,119 @@
+"""Unit tests for the REPL session (driven headlessly)."""
+
+import pytest
+
+from repro.repl import ReplSession
+from repro.lang.printer import render_program
+from repro.workloads.paper import figure1
+
+
+@pytest.fixture
+def session():
+    return ReplSession(figure1())
+
+
+class TestLoadingAndFocus:
+    def test_adopts_program_and_focuses_minimal(self, session):
+        assert session.focus == "c1"
+        assert session.program() == figure1()
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "f1.olp"
+        path.write_text(render_program(figure1()))
+        session = ReplSession()
+        out = session.execute(f"load {path}")
+        assert "focus = c1" in out
+
+    def test_focus_switch(self, session):
+        assert session.execute("focus c2") == "focus = c2"
+        assert "fly(penguin)" in session.execute("model")
+
+    def test_focus_creates_component(self, session):
+        session.execute("focus scratch")
+        assert "scratch" in session.program().component_names
+
+
+class TestMutation:
+    def test_bare_rule_asserted_into_focus(self, session):
+        out = session.execute("bird(dodo).")
+        assert out == "[c1] bird(dodo)."
+        assert "fly(dodo)" in session.execute("model")
+
+    def test_assert_into_named_component(self, session):
+        session.execute("assert c2 bird(dodo).")
+        assert len(session.program().component("c2")) == 5
+
+    def test_order_command(self, session):
+        session.execute("focus c0")
+        out = session.execute("order c0 < c1")
+        assert out == "c0 < c1"
+        assert session.program().order.less("c0", "c2")
+
+    def test_cyclic_order_reported(self, session):
+        out = session.execute("order c2 < c1")
+        assert out.startswith("error:")
+
+    def test_parse_error_reported(self, session):
+        out = session.execute("fly( .")
+        assert out.startswith("error:")
+
+
+class TestQueries:
+    def test_model(self, session):
+        out = session.execute("model")
+        assert "-fly(penguin)" in out
+
+    def test_value(self, session):
+        assert session.execute("value fly(pigeon)") == "T"
+        assert session.execute("value fly(penguin)") == "F"
+
+    def test_query_modes(self, session):
+        assert session.execute("query fly(X)") == "fly(pigeon)"
+        assert session.execute("query fly(X) skeptical") == "fly(pigeon)"
+        assert session.execute("query swims(X)") == "no"
+
+    def test_stable(self, session):
+        assert "1 stable model(s)" in session.execute("stable")
+
+    def test_why(self, session):
+        out = session.execute("why fly(pigeon)")
+        assert "via" in out
+
+    def test_statuses(self, session):
+        out = session.execute("statuses")
+        assert "overruled" in out
+
+    def test_hierarchy(self, session):
+        assert "c1 --> c2" in session.execute("hierarchy")
+
+    def test_lint_clean(self, session):
+        assert session.execute("lint") == "no findings"
+
+
+class TestSessionMechanics:
+    def test_empty_and_comment_lines(self, session):
+        assert session.execute("") == ""
+        assert session.execute("% a comment") == ""
+
+    def test_unknown_command(self, session):
+        assert "unknown command" in session.execute("frobnicate now")
+
+    def test_help(self, session):
+        assert "commands:" in session.execute("help")
+
+    def test_quit_raises_eof(self, session):
+        with pytest.raises(EOFError):
+            session.execute("quit")
+
+    def test_save_and_show_round_trip(self, session, tmp_path):
+        path = tmp_path / "saved.olp"
+        session.execute(f"save {path}")
+        reloaded = ReplSession()
+        reloaded.execute(f"load {path}")
+        assert reloaded.program() == session.program()
+        assert session.execute("show") == render_program(session.program())
+
+    def test_mutation_invalidates_semantics(self, session):
+        assert session.execute("value fly(dodo)") == "U"
+        session.execute("bird(dodo).")
+        assert session.execute("value fly(dodo)") == "T"

@@ -1,0 +1,65 @@
+"""Unit tests for the expert-panel workloads."""
+
+import pytest
+
+from repro.core.semantics import OrderedSemantics
+from repro.workloads.experts import contradicting_panel, expert_panel
+
+
+class TestExpertPanel:
+    @pytest.mark.parametrize("chain_length", [1, 2, 3, 4])
+    def test_most_specific_expert_wins(self, chain_length):
+        sem = OrderedSemantics(expert_panel(1, chain_length), "myself")
+        expected = "verdict(t0)" if chain_length % 2 == 1 else "-verdict(t0)"
+        assert sem.holds(expected)
+
+    def test_chains_are_independent(self):
+        sem = OrderedSemantics(expert_panel(3, 2), "myself")
+        for i in range(3):
+            assert sem.holds(f"-verdict(t{i})")
+        assert sem.least_model.is_total
+
+    def test_intermediate_expert_view(self):
+        # From e0_1's viewpoint (one refinement above the bottom) the
+        # parity is that of a chain one shorter.
+        program = expert_panel(1, 3)
+        sem = OrderedSemantics(program, "e0_1")
+        # e0_1 sees e0_1 < e0_2; its own sign is "-": chain of 2 from
+        # its viewpoint... but it has no topic fact, so nothing fires.
+        assert sem.undefined("verdict(t0)")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expert_panel(0, 1)
+        with pytest.raises(ValueError):
+            expert_panel(1, 0)
+
+
+class TestContradictingPanel:
+    def test_single_expert_decides(self):
+        sem = OrderedSemantics(contradicting_panel(1), "myself")
+        assert sem.holds("verdict(go)")
+
+    @pytest.mark.parametrize("n_experts", [2, 3, 5])
+    def test_multiple_experts_defeat(self, n_experts):
+        sem = OrderedSemantics(contradicting_panel(n_experts), "myself")
+        assert sem.undefined("verdict(go)")
+
+    def test_defeat_is_undecidable_without_blockers(self):
+        # Unlike Example 5 (where the defeated atom's opposing rule is
+        # *blockable* through its body), the panel's rules have
+        # unblockable bodies: no model can decide the verdict either
+        # way — condition (a) would need the opposing rule blocked or
+        # overruled by an applied rule, and incomparable components
+        # cannot overrule.  The unique stable model leaves it undefined,
+        # exactly as Figure 2's unique empty stable model.
+        sem = OrderedSemantics(contradicting_panel(2), "myself")
+        stable = sem.stable_models()
+        assert len(stable) == 1
+        assert stable[0].value(
+            next(iter(sem.interpretation(["verdict(go)"]).literals))
+        ).name == "UNDEFINED"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contradicting_panel(0)
