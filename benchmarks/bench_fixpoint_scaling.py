@@ -10,7 +10,7 @@ import pytest
 from repro.core.semantics import OrderedSemantics
 from repro.workloads.hierarchies import override_chain, taxonomy
 
-from .conftest import record
+from .conftest import capture_metrics, record
 
 
 @pytest.mark.parametrize("depth", [4, 8, 16])
@@ -24,6 +24,9 @@ def test_override_chain_depth(benchmark, depth):
     expected = "p(a)" if depth % 2 == 0 else "-p(a)"
     assert expected in {str(l) for l in model}
     record(benchmark, experiment="fixpoint-depth", depth=depth)
+    snapshot = capture_metrics(benchmark, run)
+    assert snapshot["counters"]["fixpoint.stages"] >= 1
+    assert snapshot["counters"]["fixpoint.rules_scanned"] > 0
 
 
 @pytest.mark.parametrize("n_species", [10, 40, 80])
@@ -43,3 +46,4 @@ def test_taxonomy_width(benchmark, n_species):
         species=n_species,
         literals=len(model),
     )
+    capture_metrics(benchmark, run)

@@ -12,7 +12,7 @@ from repro.lang.parser import parse_rules
 from repro.workloads.hierarchies import taxonomy
 from repro.workloads.paper import scaled_figure1
 
-from .conftest import record
+from .conftest import capture_metrics, record
 
 
 @pytest.mark.parametrize("n_constants", [10, 30, 60])
@@ -58,6 +58,11 @@ def test_guard_pruning(benchmark, n_constants):
     expected_pairs = n_constants * (n_constants - 1) // 2
     assert len(ground.rules) == n_constants + expected_pairs
     record(benchmark, experiment="grounding-guard", constants=n_constants)
+    snapshot = capture_metrics(benchmark, run)
+    # Guard pruning is visible in the counters: every X <= Y pair is
+    # dropped during enumeration, never materialised.
+    pruned = snapshot["counters"]["ground.guard_pruned"]
+    assert pruned == n_constants * (n_constants + 1) // 2
 
 
 @pytest.mark.parametrize("depth", [1, 2])
@@ -83,3 +88,4 @@ def test_component_star_grounding(benchmark, n_species):
     assert {r.component for r in ground.rules} == {"general", "specific"}
     record(benchmark, experiment="grounding-star", species=n_species,
            ground_rules=len(ground.rules))
+    capture_metrics(benchmark, run)

@@ -11,7 +11,7 @@ from repro.core.semantics import OrderedSemantics
 from repro.workloads.hierarchies import diamond
 from repro.workloads.paper import example3
 
-from .conftest import record
+from .conftest import capture_metrics, record
 
 
 def test_example3_model_list(benchmark):
@@ -47,3 +47,6 @@ def test_diamond_model_enumeration(benchmark, n_atoms):
         all(l.predicate != "p" for l in m) for m in models
     )
     record(benchmark, experiment="E3-diamond", atoms=n_atoms, models=len(models))
+    snapshot = capture_metrics(benchmark, run)
+    # Each undefined atom branches 3 ways: 3^n leaves visited.
+    assert snapshot["counters"]["search.leaves_visited"] == 3**n_atoms

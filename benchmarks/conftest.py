@@ -4,14 +4,47 @@ Every benchmark asserts the *shape* the paper reports (who wins, what
 stays undefined, how many stable models) in addition to timing the
 computation, so `pytest benchmarks/ --benchmark-only` doubles as an
 end-to-end reproduction run.
+
+``capture_metrics`` runs a workload once more *outside* the timed
+region with instrumentation enabled and attaches the solver statistics
+(fixpoint stages, grounding counters, search counters, span timings) to
+``benchmark.extra_info`` — so BENCH_*.json entries carry the engine's
+own counters alongside wall time, without the instrumentation overhead
+ever being inside the timing loop.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import pytest
+
+from repro.obs import instrumented
 
 
 def record(benchmark, **info) -> None:
     """Attach reproduction facts to the benchmark JSON output."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+def capture_metrics(benchmark, run: Callable[[], object]) -> dict:
+    """Run ``run`` once with instrumentation enabled (untimed) and
+    attach the metrics snapshot to the benchmark's ``extra_info``.
+
+    Returns the snapshot for in-test assertions.  Call *after*
+    ``benchmark(run)`` so the timed measurement sees the registry in
+    its default disabled state.
+    """
+    with instrumented() as obs:
+        run()
+        snapshot = obs.snapshot()
+    benchmark.extra_info["metrics"] = {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "spans": {
+            path: {"count": s["count"], "total_s": s["sum"]}
+            for path, s in snapshot["spans"].items()
+        },
+    }
+    return snapshot

@@ -53,6 +53,7 @@ from .lang.printer import render_program
 from .lang.program import Component, OrderedProgram
 from .lang.rules import Rule, fact, rule
 from .lang.terms import Compound, Constant, Term, Variable, compound, const, var
+from .obs import Instrumentation, get_instrumentation, instrumented
 
 __version__ = "1.0.0"
 
@@ -97,6 +98,10 @@ __all__ = [
     "SearchBudget",
     "Explainer",
     "KnowledgeBase",
+    # observability
+    "Instrumentation",
+    "get_instrumentation",
+    "instrumented",
     # errors
     "ReproError",
     "ParseError",

@@ -50,7 +50,9 @@ def _interpretations(
     if len(atoms) > _ENUM_LIMIT_ATOMS:
         raise SearchBudgetExceeded(
             f"3-valued enumeration over {len(atoms)} atoms "
-            f"(limit {_ENUM_LIMIT_ATOMS}) would be 3^n"
+            f"(limit {_ENUM_LIMIT_ATOMS}) would be 3^n",
+            estimate=3 ** len(atoms),
+            budget=3 ** _ENUM_LIMIT_ATOMS,
         )
 
     def expand(index: int, chosen: list[Literal]) -> Iterator[Interpretation]:

@@ -9,11 +9,19 @@ Installed as ``olp`` (also ``python -m repro``).  Subcommands:
 * ``olp explain FILE -c COMPONENT`` — Definition-2 status of every
   ground rule under the least model, plus the conflict summary.
 * ``olp stats FILE`` — structural statistics of the program.
+* ``olp profile FILE -c COMPONENT`` — run with instrumentation on and
+  print a per-phase timing / counter breakdown.
+
+Observability flags (every subcommand): ``-v`` / ``-vv`` stream INFO /
+DEBUG events to stderr, ``--quiet`` silences events entirely,
+``--events-jsonl PATH`` appends the event stream as JSON lines, and
+``--metrics`` (run / query) prints a metrics report after the result.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -24,6 +32,15 @@ from .kb.query import evaluate_query
 from .lang.errors import ReproError
 from .lang.parser import parse_program
 from .lang.program import OrderedProgram
+from .obs import (
+    JsonLinesSink,
+    Level,
+    Sink,
+    TextSink,
+    get_instrumentation,
+    instrumented,
+    render_report,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -48,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result as JSON (see repro.serialize for the schema)",
     )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print an instrumentation report after the result",
+    )
 
     query = sub.add_parser("query", help="answer a literal pattern")
     _add_common(query)
@@ -56,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode",
         choices=["cautious", "skeptical", "credulous"],
         default="cautious",
+    )
+    query.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print an instrumentation report after the result",
     )
 
     explain = sub.add_parser(
@@ -71,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="structural program statistics")
     stats.add_argument("file", help="path to an .olp file")
+    _add_output_flags(stats)
 
     lint = sub.add_parser(
         "lint",
@@ -83,9 +111,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Herbrand-universe depth bound (needed with function symbols)",
     )
+    _add_output_flags(lint)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a program with instrumentation on; print the per-phase "
+        "timing and counter breakdown",
+    )
+    _add_common(profile)
+    profile.add_argument(
+        "--semantics",
+        choices=["least", "stable", "af", "models"],
+        default="least",
+        help="how far to take the run (default: ground + least model)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics snapshot as JSON",
+    )
 
     repl = sub.add_parser("repl", help="interactive ordered-logic shell")
     repl.add_argument("file", nargs="?", default=None, help="optional .olp to load")
+    _add_output_flags(repl)
     return parser
 
 
@@ -103,6 +151,28 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="Herbrand-universe depth bound (needed with function symbols)",
+    )
+    _add_output_flags(sub)
+
+
+def _add_output_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="stream engine events to stderr (-v: INFO, -vv: DEBUG)",
+    )
+    sub.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the event stream entirely",
+    )
+    sub.add_argument(
+        "--events-jsonl",
+        metavar="PATH",
+        default=None,
+        help="append structured events to PATH, one JSON object per line",
     )
 
 
@@ -132,6 +202,11 @@ def _semantics(args: argparse.Namespace) -> OrderedSemantics:
     )
 
 
+def _print_metrics(args: argparse.Namespace) -> None:
+    if getattr(args, "metrics", False):
+        print(render_report(get_instrumentation().snapshot()))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     sem = _semantics(args)
     if args.semantics == "least":
@@ -146,8 +221,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         }
         models = chooser[args.semantics]()
     if args.json:
-        import json
-
         from .serialize import interpretation_to_dict
 
         payload = {
@@ -155,6 +228,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "semantics": args.semantics,
             "models": [interpretation_to_dict(m) for m in models],
         }
+        if args.metrics:
+            payload["metrics"] = get_instrumentation().snapshot()
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     if args.semantics == "least":
@@ -165,10 +240,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         undefined = sorted(map(str, model.undefined_atoms()))
         if undefined:
             print(f"undefined: {', '.join(undefined)}")
+        _print_metrics(args)
         return 0
     print(f"{len(models)} {args.semantics} model(s) of component {sem.component}:")
     for i, model in enumerate(models):
         print(f"  [{i}] {model}")
+    _print_metrics(args)
     return 0
 
 
@@ -177,9 +254,53 @@ def _cmd_query(args: argparse.Namespace) -> int:
     answers = evaluate_query(sem, args.query, args.mode)
     if not answers:
         print("no")
+        _print_metrics(args)
         return 1
     for answer in answers:
         print(answer.literal)
+    _print_metrics(args)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    obs = get_instrumentation()
+    with obs.span("profile", file=args.file, semantics=args.semantics):
+        with obs.span("parse"):
+            program = _load(args.file)
+        component = _pick_component(program, args.component)
+        from .grounding.grounder import GroundingOptions
+
+        sem = OrderedSemantics(
+            program, component, grounding=GroundingOptions(max_depth=args.max_depth)
+        )
+        sem.ground  # grounding phase (span "ground")
+        model = sem.least_model  # fixpoint phase
+        counts = {"least": len(model.literals)}
+        if args.semantics == "stable":
+            counts["stable"] = len(sem.stable_models())
+        elif args.semantics == "af":
+            counts["af"] = len(sem.assumption_free_models())
+        elif args.semantics == "models":
+            counts["models"] = len(sem.models())
+    snapshot = obs.snapshot()
+    if args.json:
+        payload = {
+            "file": args.file,
+            "component": component,
+            "semantics": args.semantics,
+            "results": counts,
+            "metrics": snapshot,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"profile of {args.file} (component {component}, "
+        f"semantics {args.semantics}):"
+    )
+    for name, value in counts.items():
+        label = "literals in least model" if name == "least" else f"{name} model(s)"
+        print(f"  {value} {label}")
+    print(render_report(snapshot, title="per-phase breakdown"))
     return 0
 
 
@@ -247,14 +368,41 @@ _COMMANDS = {
     "why": _cmd_why,
     "stats": _cmd_stats,
     "lint": _cmd_lint,
+    "profile": _cmd_profile,
     "repl": _cmd_repl,
 }
+
+
+def _event_sinks(args: argparse.Namespace) -> tuple[bool, list[Sink]]:
+    """(enable instrumentation?, sinks) implied by the output flags."""
+    sinks: list[Sink] = []
+    verbose = getattr(args, "verbose", 0)
+    quiet = getattr(args, "quiet", False)
+    jsonl = getattr(args, "events_jsonl", None)
+    wants_obs = (
+        verbose > 0
+        or jsonl is not None
+        or getattr(args, "metrics", False)
+        or args.command == "profile"
+    )
+    if not wants_obs:
+        return False, sinks
+    level = Level.from_verbosity(verbose, quiet)
+    if level is not None:
+        sinks.append(TextSink(sys.stderr, min_level=level))
+    if jsonl is not None:
+        sinks.append(JsonLinesSink(jsonl))
+    return True, sinks
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        enable, sinks = _event_sinks(args)
+        if enable:
+            with instrumented(*sinks):
+                return _COMMANDS[args.command](args)
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

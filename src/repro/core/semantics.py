@@ -23,6 +23,7 @@ from ..grounding.grounder import Grounder, GroundingOptions, GroundProgram
 from ..lang.errors import SemanticsError
 from ..lang.literals import Literal
 from ..lang.program import OrderedProgram
+from ..obs import get_instrumentation
 from .assumptions import AssumptionAnalyzer
 from .interpretation import Interpretation, TruthValue
 from .models import ModelChecker
@@ -110,7 +111,10 @@ class OrderedSemantics:
     @cached_property
     def least_model(self) -> Interpretation:
         """``V↑ω(∅)`` — the least (assumption-free) model; Theorem 1(b)."""
-        return self.transform.least_fixpoint()
+        with get_instrumentation().span(
+            "semantics.least_model", component=self.component
+        ):
+            return self.transform.least_fixpoint()
 
     def value(self, literal: Union[Literal, str]) -> TruthValue:
         """The truth value of a ground literal in the least model."""
@@ -159,21 +163,26 @@ class OrderedSemantics:
         )
 
     def models(self, limit: Optional[int] = None) -> list[Interpretation]:
-        return self.enumerator.models(limit=limit)
+        with get_instrumentation().span("semantics.models"):
+            return self.enumerator.models(limit=limit)
 
     def total_models(self) -> list[Interpretation]:
-        return self.enumerator.total_models()
+        with get_instrumentation().span("semantics.total_models"):
+            return self.enumerator.total_models()
 
     def exhaustive_models(self) -> list[Interpretation]:
-        return self.enumerator.exhaustive_models()
+        with get_instrumentation().span("semantics.exhaustive_models"):
+            return self.enumerator.exhaustive_models()
 
     def assumption_free_models(
         self, limit: Optional[int] = None
     ) -> list[Interpretation]:
-        return self.enumerator.assumption_free_models(limit=limit)
+        with get_instrumentation().span("semantics.af_models"):
+            return self.enumerator.assumption_free_models(limit=limit)
 
     def stable_models(self) -> list[Interpretation]:
-        return self.enumerator.stable_models()
+        with get_instrumentation().span("semantics.stable_models"):
+            return self.enumerator.stable_models()
 
     # ------------------------------------------------------------------
     # Consequence relations over the stable models

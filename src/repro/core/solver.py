@@ -29,6 +29,7 @@ from typing import Iterator, Optional
 
 from ..lang.errors import SearchBudgetExceeded
 from ..lang.literals import Atom, Literal
+from ..obs import Level, get_instrumentation
 from .assumptions import AssumptionAnalyzer
 from .interpretation import Interpretation
 from .models import ModelChecker
@@ -114,19 +115,24 @@ class ModelEnumerator:
     # ------------------------------------------------------------------
     def models(self, limit: Optional[int] = None) -> list[Interpretation]:
         """All models for ``P`` in ``C`` (optionally at most ``limit``)."""
+        obs = get_instrumentation()
         found: list[Interpretation] = []
         visited = 0
-        for interp in self.candidate_models():
-            visited += 1
-            if visited > self._budget.max_visited:
-                raise SearchBudgetExceeded(
-                    f"model enumeration visited more than "
-                    f"{self._budget.max_visited} interpretations"
-                )
-            if self._checker.is_model(interp):
-                found.append(interp)
-                if limit is not None and len(found) >= limit:
-                    break
+        try:
+            with obs.span("search.models"):
+                for interp in self.candidate_models():
+                    visited += 1
+                    if visited > self._budget.max_visited:
+                        raise self._budget_exhausted(
+                            "model enumeration", visited - 1
+                        )
+                    if self._checker.is_model(interp):
+                        found.append(interp)
+                        if limit is not None and len(found) >= limit:
+                            break
+        finally:
+            obs.count("search.leaves_visited", visited)
+            obs.count("search.models_found", len(found))
         return found
 
     def total_models(self) -> list[Interpretation]:
@@ -189,24 +195,27 @@ class ModelEnumerator:
         self, limit: Optional[int] = None
     ) -> list[Interpretation]:
         """All assumption-free models (Definition 7)."""
+        obs = get_instrumentation()
         choices = self._head_choices()
         estimate = 1
         for _, options in choices:
             estimate *= len(options)
         self._check_estimate(estimate)
+        if obs.enabled:
+            obs.gauge("search.branch_atoms", len(choices))
+            obs.gauge("search.estimated_leaves", estimate)
         found: list[Interpretation] = []
         visited = 0
+        branches = 0
+        backtracks = 0
         seed = list(self._least_model().literals)
 
         def recurse(index: int, chosen: list[Literal]) -> bool:
-            nonlocal visited
+            nonlocal visited, branches, backtracks
             if index == len(choices):
                 visited += 1
                 if visited > self._budget.max_visited:
-                    raise SearchBudgetExceeded(
-                        f"AF-model search visited more than "
-                        f"{self._budget.max_visited} candidates"
-                    )
+                    raise self._budget_exhausted("AF-model search", visited - 1)
                 interp = Interpretation(chosen, self._base)
                 if self._checker.is_model(interp) and self._analyzer.is_assumption_free(
                     interp
@@ -216,6 +225,7 @@ class ModelEnumerator:
                         return True
                 return False
             for option in choices[index][1]:
+                branches += 1
                 if option is None:
                     if recurse(index + 1, chosen):
                         return True
@@ -224,9 +234,17 @@ class ModelEnumerator:
                     if recurse(index + 1, chosen):
                         return True
                     chosen.pop()
+                    backtracks += 1
             return False
 
-        recurse(0, seed)
+        try:
+            with obs.span("search.af_models"):
+                recurse(0, seed)
+        finally:
+            obs.count("search.branches", branches)
+            obs.count("search.backtracks", backtracks)
+            obs.count("search.leaves_visited", visited)
+            obs.count("search.models_found", len(found))
         return found
 
     def stable_models(self) -> list[Interpretation]:
@@ -249,8 +267,38 @@ class ModelEnumerator:
     # ------------------------------------------------------------------
     def _check_estimate(self, estimate: int) -> None:
         if estimate > self._budget.max_leaves:
+            obs = get_instrumentation()
+            obs.count("search.budget_refusals")
+            obs.event(
+                "search.budget_refused",
+                Level.WARN,
+                estimate=estimate,
+                max_leaves=self._budget.max_leaves,
+            )
             raise SearchBudgetExceeded(
                 f"search tree has about {estimate} leaves, over the budget "
                 f"of {self._budget.max_leaves}; raise SearchBudget.max_leaves "
-                "if you really want this"
+                "if you really want this",
+                estimate=estimate,
+                budget=self._budget.max_leaves,
             )
+
+    def _budget_exhausted(self, what: str, visited: int) -> SearchBudgetExceeded:
+        """Build the mid-search budget failure, reporting how far the
+        search got (the ``visited`` count at the moment of failure)."""
+        obs = get_instrumentation()
+        obs.count("search.budget_exhaustions")
+        obs.event(
+            "search.budget_exhausted",
+            Level.WARN,
+            search=what,
+            visited=visited,
+            max_visited=self._budget.max_visited,
+        )
+        return SearchBudgetExceeded(
+            f"{what} exceeded the visit budget after {visited} of at most "
+            f"{self._budget.max_visited} visited candidates; raise "
+            "SearchBudget.max_visited if you really want this",
+            visited=visited,
+            budget=self._budget.max_visited,
+        )

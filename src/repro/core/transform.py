@@ -23,6 +23,7 @@ from typing import Optional
 
 from ..lang.errors import InconsistencyError
 from ..lang.literals import Literal, is_consistent
+from ..obs import Level, get_instrumentation
 from .interpretation import Interpretation
 from .statuses import StatusEvaluator
 
@@ -44,12 +45,15 @@ class OrderedTransform:
         """One application of ``V`` to an interpretation."""
         derived: set[Literal] = set()
         snapshot = self._eval.snapshot(interp)
-        for r in self._eval.rules:
-            if not snapshot.applicable(r):
-                continue
-            if snapshot.overruled(r) or snapshot.defeated(r):
-                continue
-            derived.add(r.head)
+        if get_instrumentation().enabled:
+            self._instrumented_scan(snapshot, derived)
+        else:
+            for r in self._eval.rules:
+                if not snapshot.applicable(r):
+                    continue
+                if snapshot.overruled(r) or snapshot.defeated(r):
+                    continue
+                derived.add(r.head)
         if not is_consistent(derived):
             conflict = next(
                 l for l in derived if l.complement() in derived
@@ -60,6 +64,39 @@ class OrderedTransform:
             )
         return Interpretation(derived, self._base)
 
+    def _instrumented_scan(self, snapshot, derived: set[Literal]) -> None:
+        """The ``step`` rule scan with a Definition-2 status breakdown.
+
+        Kept separate from the plain loop so that disabled
+        instrumentation costs exactly one ``enabled`` check per step.
+        Note ``overruled``/``defeated`` are both evaluated here (no
+        short-circuit), which is what the breakdown requires.
+        """
+        obs = get_instrumentation()
+        blocked = overruled = defeated = applied = inert = 0
+        for r in self._eval.rules:
+            if not snapshot.applicable(r):
+                if snapshot.blocked(r):
+                    blocked += 1
+                else:
+                    inert += 1
+                continue
+            r_overruled = snapshot.overruled(r)
+            r_defeated = snapshot.defeated(r)
+            if r_overruled:
+                overruled += 1
+            if r_defeated:
+                defeated += 1
+            if not r_overruled and not r_defeated:
+                derived.add(r.head)
+                applied += 1
+        obs.count("fixpoint.rules_scanned", len(self._eval.rules))
+        obs.count("fixpoint.rules_applied", applied)
+        obs.count("fixpoint.rules_blocked", blocked)
+        obs.count("fixpoint.rules_overruled", overruled)
+        obs.count("fixpoint.rules_defeated", defeated)
+        obs.count("fixpoint.rules_inert", inert)
+
     def least_fixpoint(self, max_iterations: Optional[int] = None) -> Interpretation:
         """``V↑ω(∅)``: iterate from the empty interpretation to a fixpoint.
 
@@ -68,12 +105,36 @@ class OrderedTransform:
         strictly increasing chain of length at most ``2·|base|``.
         """
         bound = max_iterations if max_iterations is not None else 2 * len(self._base) + 2
-        current = Interpretation((), self._base)
-        for _ in range(bound + 1):
-            nxt = self.step(current)
-            if nxt.literals == current.literals:
-                return current
-            current = nxt
+        obs = get_instrumentation()
+        if not obs.enabled:
+            current = Interpretation((), self._base)
+            for _ in range(bound + 1):
+                nxt = self.step(current)
+                if nxt.literals == current.literals:
+                    return current
+                current = nxt
+        else:
+            with obs.span("fixpoint", rules=len(self._eval.rules)):
+                current = Interpretation((), self._base)
+                for stage in range(1, bound + 2):
+                    nxt = self.step(current)
+                    new = len(nxt.literals - current.literals)
+                    if nxt.literals == current.literals:
+                        obs.gauge("fixpoint.least_model_size", len(current.literals))
+                        obs.event(
+                            "fixpoint.converged",
+                            Level.INFO,
+                            stages=stage - 1,
+                            literals=len(current.literals),
+                        )
+                        return current
+                    obs.count("fixpoint.stages")
+                    obs.count("fixpoint.literals_derived", new)
+                    obs.observe("fixpoint.stage_literals", new)
+                    obs.event(
+                        "fixpoint.stage", Level.DEBUG, stage=stage, new_literals=new
+                    )
+                    current = nxt
         raise InconsistencyError(
             "V failed to reach a fixpoint within the iteration bound; "
             "this indicates non-monotone behaviour (a bug)"

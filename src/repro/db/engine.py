@@ -26,6 +26,7 @@ from ..lang.literals import Atom, Literal
 from ..lang.parser import parse_literal
 from ..lang.rules import Rule
 from ..lang.terms import Term, Variable
+from ..obs import Level, get_instrumentation
 from .database import Database
 from .relation import Relation, RelationError
 
@@ -66,11 +67,15 @@ class _Store:
     are fetched by ``(signature, first value)`` instead of scanning the
     whole relation."""
 
-    __slots__ = ("_all", "_by_first")
+    __slots__ = ("_all", "_by_first", "index_hits", "index_scans")
 
     def __init__(self) -> None:
         self._all: dict[tuple[str, int], set[Row]] = {}
         self._by_first: dict[tuple[str, int, Term], set[Row]] = {}
+        # Tallies for the observability layer: lookups answered by the
+        # first-argument index vs. full-relation scans.
+        self.index_hits = 0
+        self.index_scans = 0
 
     def add(self, signature: tuple[str, int], row: Row) -> bool:
         """Insert a row; returns True when it is new."""
@@ -93,8 +98,10 @@ class _Store:
         """Rows that could match the pattern (first-arg indexed)."""
         signature = pattern.signature
         if pattern.args and pattern.args[0].is_ground:
+            self.index_hits += 1
             key = (signature[0], signature[1], pattern.args[0])
             return self._by_first.get(key, set())
+        self.index_scans += 1
         return self._all.get(signature, set())
 
     def items(self):
@@ -141,31 +148,54 @@ class DatalogEngine:
         return self._total
 
     def _evaluate(self) -> _Store:
+        obs = get_instrumentation()
         total = _Store()
-        for relation in self._database:
-            for row in relation.rows:
-                total.add((relation.name, relation.arity), row)
-        strata = self._strata or {}
-        max_stratum = max(strata.values(), default=0)
-        for level in range(max_stratum + 1):
-            level_rules = [
-                r
-                for r in self._rules
-                if strata.get(r.head.predicate, 0) == level
-            ]
-            self._fixpoint(level_rules, total)
+        edb_rows = 0
+        with obs.span("db.evaluate", rules=len(self._rules)):
+            for relation in self._database:
+                for row in relation.rows:
+                    total.add((relation.name, relation.arity), row)
+                    edb_rows += 1
+            strata = self._strata or {}
+            max_stratum = max(strata.values(), default=0)
+            for level in range(max_stratum + 1):
+                level_rules = [
+                    r
+                    for r in self._rules
+                    if strata.get(r.head.predicate, 0) == level
+                ]
+                self._fixpoint(level_rules, total)
+        if obs.enabled:
+            idb_rows = sum(len(rows) for _sig, rows in total.items()) - edb_rows
+            obs.count("db.edb_rows", edb_rows)
+            obs.count("db.rows_derived", idb_rows)
+            obs.count("db.index_hits", total.index_hits)
+            obs.count("db.index_scans", total.index_scans)
+            obs.gauge("db.strata", max_stratum + 1)
+            obs.event(
+                "db.evaluated",
+                Level.INFO,
+                edb_rows=edb_rows,
+                derived_rows=idb_rows,
+                strata=max_stratum + 1,
+            )
         return total
 
     def _fixpoint(self, rules: list[Rule], total: _Store) -> None:
         """Semi-naive iteration of one stratum's rules over ``total``."""
+        obs = get_instrumentation()
+        firings = 0
+        rounds = 0
         # Seed: a full naive round establishes the initial delta.
         delta: dict[tuple[str, int], set[Row]] = {}
         for r in rules:
             # Materialise before mutating total (solve iterates over it).
             for row in list(self._fire(r, total, delta=None)):
+                firings += 1
                 if total.add(r.head.signature, row):
                     delta.setdefault(r.head.signature, set()).add(row)
         while delta:
+            rounds += 1
             new_delta: dict[tuple[str, int], set[Row]] = {}
             for r in rules:
                 body = r.body_literals()
@@ -175,9 +205,12 @@ class DatalogEngine:
                 if not touches_delta:
                     continue
                 for row in list(self._fire(r, total, delta=delta)):
+                    firings += 1
                     if total.add(r.head.signature, row):
                         new_delta.setdefault(r.head.signature, set()).add(row)
             delta = new_delta
+        obs.count("db.rule_firings", firings)
+        obs.count("db.delta_rounds", rounds)
 
     def _fire(
         self,

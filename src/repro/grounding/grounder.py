@@ -28,6 +28,7 @@ from ..lang.literals import Atom, Literal
 from ..lang.program import Component, OrderedProgram
 from ..lang.rules import Rule
 from ..lang.terms import Term, Variable
+from ..obs import Level, get_instrumentation
 from .herbrand import HerbrandUniverse, herbrand_base, universe_of
 from .substitution import Substitution
 
@@ -173,6 +174,12 @@ class Grounder:
 
     def __init__(self, options: GroundingOptions = GroundingOptions()) -> None:
         self.options = options
+        # Per-ground-call tallies; plain unconditional int bumps are an
+        # order of magnitude cheaper than the work done per binding, and
+        # flushing to the registry happens once per grounding call.
+        self._subs_tried = 0
+        self._guard_pruned = 0
+        self._deduped = 0
 
     # ------------------------------------------------------------------
     # Entry points
@@ -186,11 +193,15 @@ class Grounder:
         ``C*`` itself, exactly as the paper defines interpretations "for
         P in C" as interpretations of ``C*``.
         """
-        visible = program.visible_rules(component)
-        star = Component("_star", tuple(r for _, r in visible))
-        universe = universe_of(star, max_depth=self.options.max_depth)
-        rules = self._ground_tagged(visible, universe)
-        base = self._base_for(star, universe, rules)
+        obs = get_instrumentation()
+        with obs.span("ground", component=component):
+            visible = program.visible_rules(component)
+            star = Component("_star", tuple(r for _, r in visible))
+            universe = universe_of(star, max_depth=self.options.max_depth)
+            rules = self._ground_tagged(visible, universe)
+            base = self._base_for(star, universe, rules)
+        if obs.enabled:
+            self._flush_stats(obs, len(visible), rules, base)
         return GroundProgram(rules, base, universe)
 
     def ground_rules(
@@ -200,12 +211,16 @@ class Grounder:
         universe: Optional[HerbrandUniverse] = None,
     ) -> GroundProgram:
         """Ground a plain rule set (a classical program) as one component."""
-        comp = Component(component, rules)
-        if universe is None:
-            universe = universe_of(comp, max_depth=self.options.max_depth)
-        tagged = tuple((component, r) for r in comp.rules)
-        ground = self._ground_tagged(tagged, universe)
-        base = self._base_for(comp, universe, ground)
+        obs = get_instrumentation()
+        with obs.span("ground", component=component):
+            comp = Component(component, rules)
+            if universe is None:
+                universe = universe_of(comp, max_depth=self.options.max_depth)
+            tagged = tuple((component, r) for r in comp.rules)
+            ground = self._ground_tagged(tagged, universe)
+            base = self._base_for(comp, universe, ground)
+        if obs.enabled:
+            self._flush_stats(obs, len(tagged), ground, base)
         return GroundProgram(ground, base, universe)
 
     # ------------------------------------------------------------------
@@ -229,12 +244,16 @@ class Grounder:
         tagged_rules: Sequence[tuple[str, Rule]],
         universe: HerbrandUniverse,
     ) -> tuple[GroundRule, ...]:
+        self._subs_tried = 0
+        self._guard_pruned = 0
+        self._deduped = 0
         produced: list[GroundRule] = []
         seen: set[GroundRule] = set()
         count = 0
         for component, r in tagged_rules:
             for instance in self._instances(r, component, universe):
                 if instance in seen:
+                    self._deduped += 1
                     continue
                 seen.add(instance)
                 produced.append(instance)
@@ -244,6 +263,24 @@ class Grounder:
                         f"grounding exceeded instance cap {self.options.instance_cap}"
                     )
         return tuple(produced)
+
+    def _flush_stats(
+        self, obs, source_rules: int, ground: Sequence[GroundRule], base
+    ) -> None:
+        obs.count("ground.source_rules", source_rules)
+        obs.count("ground.substitutions_tried", self._subs_tried)
+        obs.count("ground.guard_pruned", self._guard_pruned)
+        obs.count("ground.instances_kept", len(ground))
+        obs.count("ground.instances_deduped", self._deduped)
+        obs.gauge("ground.base_atoms", len(base))
+        obs.event(
+            "ground.done",
+            Level.INFO,
+            source_rules=source_rules,
+            instances=len(ground),
+            base_atoms=len(base),
+            substitutions=self._subs_tried,
+        )
 
     @staticmethod
     def _guard_holds(guard: Comparison, bindings: dict[Variable, Term]) -> bool:
@@ -261,8 +298,11 @@ class Grounder:
     ) -> Iterator[GroundRule]:
         variables = sorted(r.variables(), key=str)
         if not variables:
+            self._subs_tried += 1
             if all(self._guard_holds(guard, {}) for guard in r.guards()):
                 yield self._make_ground(r, Substitution(), component)
+            else:
+                self._guard_pruned += 1
             return
         if not universe.terms:
             # No ground terms exist: a rule with variables has no ground
@@ -290,16 +330,19 @@ class Grounder:
         if index == len(variables):
             for guard in guard_trigger.get(-1, ()):
                 if not self._guard_holds(guard, bindings):
+                    self._guard_pruned += 1
                     return
             yield self._make_ground(r, Substitution(bindings), component)
             return
         v = variables[index]
         for term in universe.terms:
+            self._subs_tried += 1
             bindings[v] = term
             ok = True
             for guard in guard_trigger.get(index, ()):
                 if not self._guard_holds(guard, bindings):
                     ok = False
+                    self._guard_pruned += 1
                     break
             if ok:
                 yield from self._assign(

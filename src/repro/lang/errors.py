@@ -97,7 +97,27 @@ class SearchBudgetExceeded(SemanticsError):
     case (the paper notes that finding a total model is hard even for
     seminegative programs); the budget makes that explicit instead of
     silently hanging.
+
+    Attributes:
+        visited: leaves actually visited before giving up (None when the
+            search was refused up front).
+        estimate: estimated leaf count that triggered an up-front
+            refusal (None when the budget was hit mid-search).
+        budget: the limit that was exceeded.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        visited: "int | None" = None,
+        estimate: "int | None" = None,
+        budget: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.visited = visited
+        self.estimate = estimate
+        self.budget = budget
 
 
 class QueryError(ReproError):

@@ -1,0 +1,47 @@
+"""Observability: structured events, counters, gauges, histograms and
+nestable timed spans for the whole engine.
+
+The subsystem is built around one process-wide
+:class:`~repro.obs.registry.Instrumentation` registry, reached with
+:func:`get_instrumentation`.  It is **disabled by default**: every
+``count`` / ``event`` / ``span`` call on a disabled registry is a single
+attribute check, so instrumented hot paths (grounding, the ``V``
+fixpoint, model search) stay within noise of their uninstrumented
+speed.
+
+Enable it explicitly::
+
+    from repro.obs import get_instrumentation, instrumented
+
+    with instrumented() as obs:          # enable + reset, restore after
+        sem.least_model
+        print(obs.snapshot()["counters"]["fixpoint.stages"])
+
+Events flow to pluggable sinks (:class:`RingBufferSink`,
+:class:`TextSink`, :class:`JsonLinesSink`), each with its own minimum
+:class:`Level`.  ``docs/observability.md`` lists the metric names and
+the event schema.
+"""
+
+from .events import Event, JsonLinesSink, Level, RingBufferSink, Sink, TextSink
+from .instruments import Counter, Gauge, Histogram, Span, SpanStats
+from .registry import Instrumentation, get_instrumentation, instrumented
+from .report import render_report
+
+__all__ = [
+    "Level",
+    "Event",
+    "Sink",
+    "RingBufferSink",
+    "TextSink",
+    "JsonLinesSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SpanStats",
+    "Instrumentation",
+    "get_instrumentation",
+    "instrumented",
+    "render_report",
+]

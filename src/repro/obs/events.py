@@ -1,0 +1,185 @@
+"""The structured event stream: events, severity levels and sinks.
+
+An :class:`Event` is a named, levelled bag of scalar fields stamped
+with a wall-clock time, a per-registry sequence number and the dotted
+path of the span it occurred in.  Sinks receive every event at or above
+their ``min_level``:
+
+* :class:`RingBufferSink` — keep the last N events in memory (tests,
+  the REPL, post-mortem inspection);
+* :class:`TextSink` — one human-readable line per event to a stream
+  (the CLI's ``-v`` / ``-vv``);
+* :class:`JsonLinesSink` — one JSON object per line to a file or
+  stream, for machine consumption.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import IO, Iterator, Optional, Union
+
+__all__ = ["Level", "Event", "Sink", "RingBufferSink", "TextSink", "JsonLinesSink"]
+
+
+class Level(IntEnum):
+    """Event severity; sinks filter on it."""
+
+    DEBUG = 10
+    INFO = 20
+    WARN = 30
+    ERROR = 40
+
+    @classmethod
+    def from_verbosity(cls, verbose: int, quiet: bool = False) -> Optional["Level"]:
+        """Map CLI flags to a sink threshold.
+
+        ``--quiet`` suppresses the sink entirely (None); the default is
+        WARN, ``-v`` is INFO, ``-vv`` (or more) is DEBUG.
+        """
+        if quiet:
+            return None
+        if verbose <= 0:
+            return cls.WARN
+        if verbose == 1:
+            return cls.INFO
+        return cls.DEBUG
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event.
+
+    Attributes:
+        name: dotted event name, e.g. ``fixpoint.stage``.
+        level: severity.
+        fields: scalar payload (str/int/float/bool values).
+        timestamp: wall-clock seconds since the epoch.
+        seq: per-registry monotonically increasing sequence number.
+        span: dotted path of the enclosing span ("" at top level).
+    """
+
+    name: str
+    level: Level
+    fields: dict = field(default_factory=dict)
+    timestamp: float = 0.0
+    seq: int = 0
+    span: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "level": self.level.name,
+            "ts": self.timestamp,
+            "seq": self.seq,
+            "span": self.span,
+            **self.fields,
+        }
+
+    def render(self) -> str:
+        parts = [f"{self.level.name:5s}", self.name]
+        if self.span:
+            parts.append(f"[{self.span}]")
+        parts.extend(f"{k}={v}" for k, v in self.fields.items())
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Sink:
+    """Base sink: receives events at or above ``min_level``."""
+
+    min_level: Level = Level.DEBUG
+
+    def accepts(self, event: Event) -> bool:
+        return event.level >= self.min_level
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; the base sink holds none."""
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 1024, min_level: Level = Level.DEBUG) -> None:
+        self.min_level = min_level
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+
+    def emit(self, event: Event) -> None:
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class TextSink(Sink):
+    """One ``LEVEL name [span] k=v ...`` line per event."""
+
+    def __init__(
+        self, stream: Optional[IO[str]] = None, min_level: Level = Level.INFO
+    ) -> None:
+        self.min_level = min_level
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: Event) -> None:
+        print(event.render(), file=self._stream)
+
+
+class JsonLinesSink(Sink):
+    """One JSON object per line, to a path (opened lazily) or stream."""
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        min_level: Level = Level.DEBUG,
+    ) -> None:
+        self.min_level = min_level
+        self._path: Optional[str] = target if isinstance(target, str) else None
+        self._stream: Optional[IO[str]] = None if isinstance(target, str) else target
+        self._owns_stream = isinstance(target, str)
+
+    def emit(self, event: Event) -> None:
+        if self._stream is None:
+            self._stream = open(self._path, "a", encoding="utf-8")
+        self._stream.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+def make_event(
+    name: str,
+    level: Level,
+    fields: dict,
+    seq: int,
+    span: str,
+) -> Event:
+    """Stamp an event with the current wall-clock time."""
+    return Event(
+        name=name,
+        level=level,
+        fields=fields,
+        timestamp=time.time(),
+        seq=seq,
+        span=span,
+    )

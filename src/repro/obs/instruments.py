@@ -1,0 +1,145 @@
+"""Metric primitives: counters, gauges, histograms and timed spans.
+
+These are deliberately tiny mutable objects — the registry hands out at
+most one instance per name, and the hot paths mostly accumulate into
+plain local integers and flush once per phase, so the per-instrument
+cost only matters at flush granularity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .registry import Instrumentation
+
+__all__ = ["Counter", "Gauge", "Histogram", "SpanStats", "Span"]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-write-wins numeric level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    A fixed-size summary rather than stored samples: benchmarks observe
+    one value per fixpoint stage or per search leaf, and keeping raw
+    samples would make long runs O(observations) in memory.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Histogram({self.name}: n={self.count} mean={self.mean:.3g})"
+
+
+class SpanStats(Histogram):
+    """Per-span-path timing summary; values are seconds."""
+
+    __slots__ = ()
+
+
+class Span:
+    """A nestable timed region.
+
+    Spans stack per registry: entering ``fixpoint`` inside ``run``
+    records its timing under the dotted path ``run.fixpoint``, so the
+    report shows where parent time went.  Use only as a context
+    manager.
+    """
+
+    __slots__ = ("_registry", "name", "fields", "path", "duration", "_start")
+
+    def __init__(self, registry: "Instrumentation", name: str, fields: dict) -> None:
+        self._registry = registry
+        self.name = name
+        self.fields = fields
+        self.path = name
+        self.duration: Optional[float] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self.path = self._registry._push_span(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        self._registry._pop_span(self, failed=exc_type is not None)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while instrumentation is off."""
+
+    __slots__ = ()
+    name = ""
+    path = ""
+    fields: dict = {}
+    duration = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()

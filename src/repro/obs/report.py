@@ -1,0 +1,58 @@
+"""Rendering a metrics snapshot as a human-readable report.
+
+The CLI's ``--metrics`` flag and the ``olp profile`` subcommand both
+print :func:`render_report` over ``Instrumentation.snapshot()``; the
+``--json`` variants emit the snapshot dict itself.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_report"]
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 0.001:
+        return f"{value * 1000:.2f}ms"
+    return f"{value * 1_000_000:.0f}us"
+
+
+def render_report(snapshot: dict, title: str = "metrics") -> str:
+    """A sectioned text report: spans, counters, gauges, histograms."""
+    lines = [f"== {title} =="]
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append("spans (path / calls / total / mean):")
+        width = max(len(path) for path in spans)
+        for path, stats in spans.items():
+            lines.append(
+                f"  {path:<{width}}  {stats['count']:>6}  "
+                f"{_fmt_seconds(stats['sum']):>10}  "
+                f"{_fmt_seconds(stats['mean']):>10}"
+            )
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value:>10}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            rendered = f"{value:g}"
+            lines.append(f"  {name:<{width}}  {rendered:>10}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms (name / n / min / mean / max):")
+        width = max(len(name) for name in histograms)
+        for name, stats in histograms.items():
+            lines.append(
+                f"  {name:<{width}}  {stats['count']:>6}  "
+                f"{stats['min']:>8g}  {stats['mean']:>8.3g}  {stats['max']:>8g}"
+            )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -197,7 +197,9 @@ def _interpretations(base: frozenset[Atom]) -> Iterator[Interpretation]:
     if len(atoms) > _ENUM_LIMIT_ATOMS:
         raise SearchBudgetExceeded(
             f"direct-semantics enumeration over {len(atoms)} atoms "
-            f"(limit {_ENUM_LIMIT_ATOMS})"
+            f"(limit {_ENUM_LIMIT_ATOMS})",
+            estimate=3 ** len(atoms),
+            budget=3 ** _ENUM_LIMIT_ATOMS,
         )
 
     def expand(index: int, chosen: list[Literal]) -> Iterator[Interpretation]:

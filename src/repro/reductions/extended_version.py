@@ -25,6 +25,7 @@ from .ordered_version import (
     PROGRAM_COMPONENT,
     ReducedProgram,
     cwa_component,
+    record_reduction,
 )
 
 __all__ = ["reflexive_rules", "extended_version"]
@@ -55,4 +56,5 @@ def extended_version(
         ],
         [(component, cwa_name)],
     )
+    record_reduction("ev", len(rules), program)
     return ReducedProgram(program, component)

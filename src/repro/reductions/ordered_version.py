@@ -25,8 +25,27 @@ from ..lang.literals import Atom, Literal
 from ..lang.program import Component, OrderedProgram
 from ..lang.rules import Rule
 from ..lang.terms import Variable
+from ..obs import Level, get_instrumentation
 
 __all__ = ["ReducedProgram", "cwa_rules", "cwa_component", "ordered_version"]
+
+
+def record_reduction(name: str, source_rules: int, program: OrderedProgram) -> None:
+    """Count one reduction call: source size and rules emitted."""
+    obs = get_instrumentation()
+    if not obs.enabled:
+        return
+    emitted = sum(len(c.rules) for c in program.components())
+    obs.count(f"reduction.{name}.calls")
+    obs.count(f"reduction.{name}.source_rules", source_rules)
+    obs.count(f"reduction.{name}.rules_emitted", emitted)
+    obs.event(
+        "reduction.applied",
+        Level.DEBUG,
+        reduction=name,
+        source_rules=source_rules,
+        rules_emitted=emitted,
+    )
 
 #: Default component names used by the reductions.
 PROGRAM_COMPONENT = "c"
@@ -93,4 +112,5 @@ def ordered_version(
         ],
         [(component, cwa_name)],
     )
+    record_reduction("ov", len(rules), program)
     return ReducedProgram(program, component)

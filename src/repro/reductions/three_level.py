@@ -23,7 +23,7 @@ from typing import Sequence
 from ..lang.program import Component, OrderedProgram
 from ..lang.rules import Rule
 from .extended_version import reflexive_rules
-from .ordered_version import ReducedProgram, cwa_component
+from .ordered_version import ReducedProgram, cwa_component, record_reduction
 
 __all__ = ["three_level_version"]
 
@@ -60,4 +60,5 @@ def three_level_version(
             (negative_name, cwa_name),
         ],
     )
+    record_reduction("3v", len(rules), program)
     return ReducedProgram(program, negative_name)

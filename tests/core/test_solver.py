@@ -89,6 +89,39 @@ class TestLimitsAndBudgets:
         # Base {a, b}: 3^2 = 9 interpretations.
         assert len(list(sem.enumerator.interpretations())) == 9
 
+    def test_visit_budget_error_reports_progress(self):
+        sem = OrderedSemantics(
+            example3(), "c", budget=SearchBudget(max_visited=3)
+        )
+        with pytest.raises(SearchBudgetExceeded) as exc_info:
+            sem.models()
+        error = exc_info.value
+        assert error.visited == 3
+        assert error.budget == 3
+        assert error.estimate is None
+        assert "after 3" in str(error)
+
+    def test_af_visit_budget_error_reports_progress(self):
+        sem = OrderedSemantics(
+            example5(), "c1", budget=SearchBudget(max_visited=2)
+        )
+        with pytest.raises(SearchBudgetExceeded) as exc_info:
+            sem.assumption_free_models()
+        error = exc_info.value
+        assert error.visited == 2
+        assert error.budget == 2
+
+    def test_estimate_budget_error_reports_estimate(self):
+        sem = OrderedSemantics(
+            example5(), "c1", budget=SearchBudget(max_leaves=2)
+        )
+        with pytest.raises(SearchBudgetExceeded) as exc_info:
+            sem.assumption_free_models()
+        error = exc_info.value
+        assert error.estimate is not None and error.estimate > 2
+        assert error.budget == 2
+        assert error.visited is None
+
 
 class TestHeadRestriction:
     def test_non_head_atoms_stay_undefined_in_af_models(self):

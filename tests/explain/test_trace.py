@@ -92,6 +92,75 @@ class TestWhyNot:
             f1_explainer.why_not("fly(pigeon)")
 
 
+class TestFailureRendering:
+    """Rendering of RuleFailure / NonDerivation — the strings that back
+    the observability event payloads."""
+
+    def test_unmet_body_rendering(self):
+        explainer = Explainer(figure3_sem())
+        report = explainer.why_not("take_loan")
+        unmet = [f for f in report.failures if f.reason == "unmet-body"]
+        assert unmet
+        text = str(unmet[0])
+        assert "is not established" in text
+        assert str(unmet[0].witness) in text
+
+    def test_blocked_rendering(self, f1_explainer):
+        report = f1_explainer.why_not("-fly(pigeon)")
+        blocked = [f for f in report.failures if f.reason == "blocked"]
+        assert blocked
+        text = str(blocked[0])
+        assert "blocked:" in text
+        assert str(blocked[0].witness) in text
+
+    def test_overruled_rendering(self, f1_explainer):
+        report = f1_explainer.why_not("fly(penguin)")
+        overruled = [f for f in report.failures if f.reason == "overruled"]
+        assert overruled
+        text = str(overruled[0])
+        assert "overruled by" in text
+        # The witness is the opposing ground rule, rendered inline.
+        assert str(overruled[0].witness) in text
+
+    def test_defeated_rendering(self):
+        explainer = Explainer(OrderedSemantics(figure2(), "c1"))
+        report = explainer.why_not("rich(mimmo)")
+        defeated = [f for f in report.failures if f.reason == "defeated"]
+        assert defeated
+        assert "defeated by" in str(defeated[0])
+
+    def test_fallback_reason_rendering(self):
+        from repro.explain.trace import RuleFailure
+        from repro.grounding.grounder import GroundRule
+        from repro.lang.literals import Atom, Literal
+
+        r = GroundRule(Literal(Atom("p", ()), True), frozenset(), "c")
+        failure = RuleFailure(r, "not fired (no failing condition found)", None)
+        assert "not fired" in str(failure)
+
+    def test_non_derivation_render_undefined(self):
+        explainer = Explainer(OrderedSemantics(figure2(), "c1"))
+        text = explainer.why_not("rich(mimmo)").render()
+        assert "rich(mimmo) is U in the least model" in text
+        assert "defeated by" in text
+
+    def test_non_derivation_render_false_shows_complement(self, f1_explainer):
+        text = f1_explainer.why_not("fly(penguin)").render()
+        assert "its complement is derived:" in text
+        assert "-fly(penguin)" in text
+
+    def test_non_derivation_render_headless(self):
+        explainer = Explainer(semantics_of("component c { a :- b. }", "c"))
+        text = explainer.why_not("b").render()
+        assert "no ground rule has this head" in text
+        # The headless branch must not claim a complement derivation.
+        assert "complement" not in text
+
+
+def figure3_sem():
+    return OrderedSemantics(figure3(()), "c1")
+
+
 class TestReductions:
     def test_cwa_derivation_through_ov(self):
         from repro.reductions import ordered_version

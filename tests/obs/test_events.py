@@ -1,0 +1,113 @@
+"""Unit tests for the event stream and its sinks."""
+
+import io
+import json
+
+from repro.obs import (
+    Instrumentation,
+    JsonLinesSink,
+    Level,
+    RingBufferSink,
+    TextSink,
+)
+
+
+class TestLevel:
+    def test_ordering(self):
+        assert Level.DEBUG < Level.INFO < Level.WARN < Level.ERROR
+
+    def test_from_verbosity(self):
+        assert Level.from_verbosity(0) is Level.WARN
+        assert Level.from_verbosity(1) is Level.INFO
+        assert Level.from_verbosity(2) is Level.DEBUG
+        assert Level.from_verbosity(5) is Level.DEBUG
+        assert Level.from_verbosity(2, quiet=True) is None
+
+
+class TestEvents:
+    def test_event_carries_fields_seq_and_span(self):
+        obs = Instrumentation(enabled=True)
+        ring = obs.add_sink(RingBufferSink())
+        with obs.span("phase"):
+            obs.event("thing.happened", Level.INFO, n=3)
+        first = ring.events[0]
+        assert first.name == "thing.happened"
+        assert first.fields == {"n": 3}
+        assert first.span == "phase"
+        assert first.seq == 1
+        assert first.timestamp > 0
+
+    def test_render_and_as_dict(self):
+        obs = Instrumentation(enabled=True)
+        evt = obs.event("x.y", Level.WARN, k="v")
+        assert "WARN" in evt.render()
+        assert "x.y" in evt.render()
+        assert "k=v" in evt.render()
+        data = evt.as_dict()
+        assert data["name"] == "x.y"
+        assert data["level"] == "WARN"
+        assert data["k"] == "v"
+
+
+class TestRingBufferSink:
+    def test_capacity_drops_oldest(self):
+        obs = Instrumentation(enabled=True)
+        ring = obs.add_sink(RingBufferSink(capacity=2))
+        for i in range(5):
+            obs.event("e", n=i)
+        assert len(ring) == 2
+        assert [e.fields["n"] for e in ring] == [3, 4]
+
+    def test_clear(self):
+        obs = Instrumentation(enabled=True)
+        ring = obs.add_sink(RingBufferSink())
+        obs.event("e")
+        ring.clear()
+        assert ring.events == []
+
+
+class TestTextSink:
+    def test_level_filtering(self):
+        obs = Instrumentation(enabled=True)
+        stream = io.StringIO()
+        obs.add_sink(TextSink(stream, min_level=Level.INFO))
+        obs.event("kept", Level.INFO)
+        obs.event("dropped", Level.DEBUG)
+        text = stream.getvalue()
+        assert "kept" in text
+        assert "dropped" not in text
+
+
+class TestJsonLinesSink:
+    def test_writes_one_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs = Instrumentation(enabled=True)
+        sink = obs.add_sink(JsonLinesSink(str(path)))
+        obs.event("a", Level.INFO, x=1)
+        obs.event("b", Level.DEBUG, y="z")
+        obs.remove_sink(sink)  # closes the file
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["name"] == "a" and first["x"] == 1
+        assert second["name"] == "b" and second["y"] == "z"
+
+    def test_stream_target_not_closed(self):
+        stream = io.StringIO()
+        obs = Instrumentation(enabled=True)
+        sink = obs.add_sink(JsonLinesSink(stream))
+        obs.event("a")
+        obs.remove_sink(sink)
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["name"] == "a"
+
+
+class TestMultipleSinks:
+    def test_each_sink_filters_independently(self):
+        obs = Instrumentation(enabled=True)
+        fine = obs.add_sink(RingBufferSink(min_level=Level.DEBUG))
+        coarse = obs.add_sink(RingBufferSink(min_level=Level.ERROR))
+        obs.event("info", Level.INFO)
+        obs.event("bad", Level.ERROR)
+        assert [e.name for e in fine] == ["info", "bad"]
+        assert [e.name for e in coarse] == ["bad"]

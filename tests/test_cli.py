@@ -125,6 +125,121 @@ class TestLint:
         assert "finding(s)" in out
 
 
+class TestMetrics:
+    def test_run_metrics_report(self, figure1_file, capsys):
+        assert main(["run", figure1_file, "-c", "c1", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "fixpoint.stages" in out
+        assert "ground.instances_kept" in out
+
+    def test_run_metrics_json(self, figure1_file, capsys):
+        import json
+
+        assert main(
+            ["run", figure1_file, "-c", "c1", "--json", "--metrics"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["metrics"]
+        assert metrics["counters"]["fixpoint.stages"] == 3
+        assert "semantics.least_model" in metrics["spans"]
+
+    def test_query_metrics_report(self, figure1_file, capsys):
+        assert main(
+            ["query", figure1_file, "-c", "c1", "-q", "fly(X)", "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fly(pigeon)" in out
+        assert "== metrics ==" in out
+
+    def test_run_without_metrics_has_no_report(self, figure1_file, capsys):
+        assert main(["run", figure1_file, "-c", "c1"]) == 0
+        assert "== metrics ==" not in capsys.readouterr().out
+
+    def test_metrics_off_leaves_instrumentation_disabled(self, figure1_file):
+        from repro.obs import get_instrumentation
+
+        main(["run", figure1_file, "-c", "c1"])
+        assert not get_instrumentation().enabled
+
+    def test_metrics_restores_disabled_state(self, figure1_file):
+        from repro.obs import get_instrumentation
+
+        main(["run", figure1_file, "-c", "c1", "--metrics"])
+        assert not get_instrumentation().enabled
+
+
+class TestProfile:
+    def test_profile_least(self, figure1_file, capsys):
+        assert main(["profile", figure1_file, "-c", "c1"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase breakdown" in out
+        assert "profile.parse" in out
+        assert "profile.ground" in out
+        assert "fixpoint.stages" in out
+        assert "literals in least model" in out
+
+    def test_profile_stable(self, figure2_file, capsys):
+        assert main(
+            ["profile", figure2_file, "-c", "c1", "--semantics", "stable"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 stable model(s)" in out
+        assert "search.leaves_visited" in out
+
+    def test_profile_json(self, figure1_file, capsys):
+        import json
+
+        assert main(["profile", figure1_file, "-c", "c1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["component"] == "c1"
+        assert payload["results"]["least"] == 6
+        assert payload["metrics"]["counters"]["ground.instances_kept"] == 9
+
+    def test_profile_missing_file(self, capsys):
+        assert main(["profile", "/nonexistent.olp"]) == 2
+
+
+class TestVerbosity:
+    def test_verbose_streams_info_events(self, figure1_file, capsys):
+        assert main(["run", figure1_file, "-c", "c1", "-v"]) == 0
+        err = capsys.readouterr().err
+        assert "ground.done" in err
+        assert "fixpoint.converged" in err
+        # DEBUG events need -vv.
+        assert "fixpoint.stage " not in err
+
+    def test_double_verbose_streams_debug_events(self, figure1_file, capsys):
+        assert main(["run", figure1_file, "-c", "c1", "-vv"]) == 0
+        err = capsys.readouterr().err
+        assert "span.end" in err
+        assert "fixpoint.stage" in err
+
+    def test_default_has_no_event_stream(self, figure1_file, capsys):
+        assert main(["run", figure1_file, "-c", "c1"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_quiet_silences_events_but_keeps_metrics(self, figure1_file, capsys):
+        assert main(
+            ["run", figure1_file, "-c", "c1", "--metrics", "--quiet", "-v"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "== metrics ==" in captured.out
+
+    def test_events_jsonl_file(self, figure1_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert main(
+            ["run", figure1_file, "-c", "c1", "--events-jsonl", str(path)]
+        ) == 0
+        lines = path.read_text().strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert any(e["name"] == "ground.done" for e in events)
+        assert any(e["name"] == "fixpoint.converged" for e in events)
+
+
 class TestExplainAndStats:
     def test_explain(self, figure1_file, capsys):
         assert main(["explain", figure1_file, "-c", "c1"]) == 0
