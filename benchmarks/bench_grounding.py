@@ -10,7 +10,6 @@ import pytest
 from repro.grounding.grounder import Grounder, GroundingOptions
 from repro.lang.parser import parse_rules
 from repro.workloads.hierarchies import taxonomy
-from repro.workloads.paper import scaled_figure1
 
 from .conftest import capture_metrics, record
 

@@ -32,12 +32,13 @@ def test_example3_model_list(benchmark):
     record(benchmark, experiment="E3", models=len(models))
 
 
+@pytest.mark.parametrize("strategy", ["naive", "seminaive"])
 @pytest.mark.parametrize("n_atoms", [2, 4, 6])
-def test_diamond_model_enumeration(benchmark, n_atoms):
+def test_diamond_model_enumeration(benchmark, n_atoms, strategy):
     program = diamond(n_atoms)
 
     def run():
-        return OrderedSemantics(program, "bottom").models()
+        return OrderedSemantics(program, "bottom", strategy=strategy).models()
 
     models = benchmark(run)
     # Each defeated p(i) may be T, F or U in a model... but condition
@@ -46,7 +47,13 @@ def test_diamond_model_enumeration(benchmark, n_atoms):
     assert all(
         all(l.predicate != "p" for l in m) for m in models
     )
-    record(benchmark, experiment="E3-diamond", atoms=n_atoms, models=len(models))
+    record(
+        benchmark,
+        experiment="E3-diamond",
+        atoms=n_atoms,
+        models=len(models),
+        strategy=strategy,
+    )
     snapshot = capture_metrics(benchmark, run)
     # Each undefined atom branches 3 ways: 3^n leaves visited.
     assert snapshot["counters"]["search.leaves_visited"] == 3**n_atoms

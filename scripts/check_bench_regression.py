@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Gate: no benchmark may regress more than GATE x against the baseline.
+
+Usage: python scripts/check_bench_regression.py NEW.json BASELINE.json
+
+Compares two pytest-benchmark JSON payloads by benchmark name.  Raw
+wall-clock comparisons across machines are meaningless (the committed
+baseline was recorded on one box, CI runs on another), so the gate is
+*self-normalizing*: each benchmark's new/baseline ratio is divided by
+the median ratio of the whole suite — a uniformly slower or faster
+machine moves every ratio equally and cancels out, while a single hot
+path that regressed stands out against its peers.  A benchmark fails
+when its normalized ratio exceeds the gate (default 1.5x, override
+with BENCH_GATE).
+
+Benchmarks present on only one side are reported but never fail the
+gate (new benchmarks must be able to land).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+GATE = float(os.environ.get("BENCH_GATE", "1.5"))
+
+
+def load_means(path: str) -> dict[str, float]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {b["name"]: b["stats"]["mean"] for b in payload["benchmarks"]}
+
+
+def median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    new = load_means(argv[1])
+    baseline = load_means(argv[2])
+
+    shared = sorted(set(new) & set(baseline))
+    only_new = sorted(set(new) - set(baseline))
+    only_old = sorted(set(baseline) - set(new))
+    for name in only_new:
+        print(f"new benchmark (not gated): {name}")
+    for name in only_old:
+        print(f"baseline benchmark disappeared (not gated): {name}")
+    if not shared:
+        print("no shared benchmarks between payloads; nothing to gate")
+        return 0
+
+    ratios = {name: new[name] / baseline[name] for name in shared}
+    scale = median(list(ratios.values()))
+    print(
+        f"machine-speed normalization: median new/baseline ratio = {scale:.3f}"
+    )
+    failures = 0
+    for name in shared:
+        normalized = ratios[name] / scale
+        flag = ""
+        if normalized > GATE:
+            failures += 1
+            flag = f"  REGRESSION (> {GATE}x)"
+        print(
+            f"{name}: baseline={baseline[name] * 1e3:.3f}ms "
+            f"new={new[name] * 1e3:.3f}ms normalized={normalized:.2f}x{flag}"
+        )
+    if failures:
+        print(f"{failures} benchmark(s) regressed beyond the {GATE}x gate")
+        return 1
+    print(f"all {len(shared)} shared benchmarks within the {GATE}x gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Gate: the semi-naive strategy must beat naive by >= MIN_SPEEDUP at
+the largest fixpoint-depth benchmark size.
+
+Usage: python scripts/check_seminaive_speedup.py BENCH_pr2.json
+
+Reads a pytest-benchmark JSON payload, pairs naive/seminaive runs of
+the ``fixpoint-depth`` experiment by depth, and fails (exit 1) unless
+the ratio naive/seminaive at the largest depth clears the bar.  The bar
+is deliberately far below the measured ~20-70x so that only a real
+regression of the incremental engine trips it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+MIN_SPEEDUP = float(os.environ.get("SEMINAIVE_MIN_SPEEDUP", "2.0"))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as handle:
+        payload = json.load(handle)
+
+    by_depth: dict[int, dict[str, float]] = {}
+    for bench in payload["benchmarks"]:
+        info = bench.get("extra_info", {})
+        if info.get("experiment") != "fixpoint-depth":
+            continue
+        depth = int(info["depth"])
+        strategy = info["strategy"]
+        by_depth.setdefault(depth, {})[strategy] = bench["stats"]["mean"]
+
+    if not by_depth:
+        print("no fixpoint-depth benchmarks found in payload")
+        return 1
+
+    failures = 0
+    largest = max(by_depth)
+    for depth in sorted(by_depth):
+        times = by_depth[depth]
+        if "naive" not in times or "seminaive" not in times:
+            print(f"depth={depth}: missing a strategy ({sorted(times)})")
+            failures += 1
+            continue
+        speedup = times["naive"] / times["seminaive"]
+        required = MIN_SPEEDUP if depth == largest else None
+        verdict = ""
+        if required is not None:
+            ok = speedup >= required
+            verdict = f" [gate >= {required}x: {'ok' if ok else 'FAIL'}]"
+            if not ok:
+                failures += 1
+        print(
+            f"depth={depth}: naive={times['naive'] * 1e3:.3f}ms "
+            f"seminaive={times['seminaive'] * 1e3:.3f}ms "
+            f"speedup={speedup:.1f}x{verdict}"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,6 +3,7 @@
 * :mod:`repro.core.interpretation` — 3-valued interpretations.
 * :mod:`repro.core.statuses` — Definition 2 rule statuses.
 * :mod:`repro.core.transform` — the ``V_{P,C}`` transformation.
+* :mod:`repro.core.incremental` — semi-naive delta-driven fixpoints.
 * :mod:`repro.core.models` — Definition 3 model checking.
 * :mod:`repro.core.assumptions` — assumption sets, enabled version.
 * :mod:`repro.core.solver` — model / AF / stable enumeration.
@@ -10,12 +11,13 @@
 """
 
 from .assumptions import AssumptionAnalyzer, literal_closure
+from .incremental import RuleIndex, SemiNaiveFixpoint
 from .interpretation import Interpretation, TruthValue
 from .models import ModelChecker
 from .semantics import OrderedSemantics
 from .solver import ModelEnumerator, SearchBudget
 from .statuses import ComponentOrder, StatusEvaluator, StatusReport
-from .transform import OrderedTransform
+from .transform import DEFAULT_STRATEGY, STRATEGIES, OrderedTransform
 
 __all__ = [
     "Interpretation",
@@ -24,6 +26,10 @@ __all__ = [
     "StatusEvaluator",
     "StatusReport",
     "OrderedTransform",
+    "RuleIndex",
+    "SemiNaiveFixpoint",
+    "STRATEGIES",
+    "DEFAULT_STRATEGY",
     "ModelChecker",
     "AssumptionAnalyzer",
     "literal_closure",

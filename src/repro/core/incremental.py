@@ -1,0 +1,278 @@
+"""Semi-naive (delta-driven) evaluation of ``V_{P,C}`` (Definition 4).
+
+Naive iteration recomputes ``V(I)`` from scratch at every stage: it
+rebuilds a :class:`~repro.core.statuses.StatusSnapshot` and rescans
+every ground rule, so a fixpoint reached after ``k`` stages over ``n``
+rules costs ``O(k · n)`` status evaluations even when each stage only
+derives a literal or two.  This module evaluates the same fixpoint
+incrementally, in the delta-driven style of semi-naive Datalog
+evaluation, adapted to the three extra moving parts of ordered
+programs: blocking, overruling and defeating.
+
+The key observation is Lemma 1 (monotonicity) specialised to the
+ascending chain ``∅ ⊆ V(∅) ⊆ V²(∅) ⊆ …``: along that chain every
+status flip is one-way.
+
+* ``B(r) ⊆ I`` (*applicable*) flips false → true only, so it can be
+  tracked by a per-rule **satisfied counter** incremented when a body
+  literal enters the interpretation;
+* *blocked* flips false → true only, triggered the first time the
+  complement of a body literal is derived;
+* *overruled* / *defeated* flip true → **false** only: a contradicting
+  rule stops being a threat exactly when it becomes blocked, so a
+  per-rule **live-contradictor counter** (decremented when a watched
+  contradictor becomes blocked) reaches zero precisely when the rule is
+  no longer overruled / defeated.
+
+Because every flip is one-way, a rule's "fires under ``I``" verdict is
+itself monotone along the chain, and only rules *watching* a literal of
+the current delta can change verdict.  Each stage therefore touches
+``O(|delta| · watchers)`` rules instead of all of them; the whole
+fixpoint does ``O(total watch-list traffic)`` work, which is the
+semi-naive bound.
+
+:class:`RuleIndex` holds the static watch lists (built once per
+:class:`~repro.core.statuses.StatusEvaluator` and shared by every
+fixpoint run — the solver re-enters the fixpoint once per search tree,
+all on the same index); :class:`SemiNaiveFixpoint` holds the per-run
+counters.  The least model produced is literal-for-literal identical to
+naive iteration — enforced by ``tests/properties/
+test_seminaive_differential.py`` and the differential CI job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..lang.errors import InconsistencyError
+from ..lang.literals import Literal
+from ..obs import Level, get_instrumentation
+from .interpretation import Interpretation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .statuses import StatusEvaluator
+
+__all__ = ["RuleIndex", "SemiNaiveFixpoint"]
+
+
+class RuleIndex:
+    """Static literal→rule watch lists over one evaluator's ground rules.
+
+    Built once per :class:`~repro.core.statuses.StatusEvaluator` (reach
+    it through :attr:`StatusEvaluator.index`) and reused by every
+    semi-naive run over those rules — model enumeration in particular
+    re-enters the fixpoint machinery with the same evaluator many times.
+
+    Attributes:
+        rules: the evaluator's ground rules, positionally identified —
+            every other structure speaks in rule *ids* (indices here).
+        heads: ``rules[i].head`` for each rule id.
+        body_sizes: ``len(rules[i].body)`` — the satisfied-counter
+            target for applicability.
+        body_watch: literal → ids of rules with the literal in their
+            body (deriving it advances their satisfied counters).
+        block_watch: literal → ids of rules *blocked* by it (the
+            literal's complement appears in their bodies).
+        overrulers: rule id → ids of its potential overrulers (rules
+            with the complementary head in a strictly lower component).
+        defeaters: rule id → ids of its potential defeaters (rules with
+            the complementary head in an incomparable or equal
+            component).
+        contradiction_watch: reverse of the previous two: rule id ``j``
+            → list of ``(i, is_overruler)`` pairs such that ``j``
+            threatens ``i``; when ``j`` becomes blocked, each watching
+            ``i`` has its live-overruler or live-defeater counter
+            decremented.
+    """
+
+    __slots__ = (
+        "rules",
+        "heads",
+        "body_sizes",
+        "body_watch",
+        "block_watch",
+        "overrulers",
+        "defeaters",
+        "contradiction_watch",
+    )
+
+    def __init__(self, evaluator: "StatusEvaluator") -> None:
+        rules = evaluator.rules
+        order = evaluator.order
+        self.rules = rules
+        self.heads = tuple(r.head for r in rules)
+        self.body_sizes = tuple(len(r.body) for r in rules)
+
+        body_watch: dict[Literal, list[int]] = {}
+        block_watch: dict[Literal, list[int]] = {}
+        by_head: dict[Literal, list[int]] = {}
+        for i, r in enumerate(rules):
+            by_head.setdefault(r.head, []).append(i)
+            for lit in r.body:
+                body_watch.setdefault(lit, []).append(i)
+                block_watch.setdefault(lit.complement(), []).append(i)
+        self.body_watch = body_watch
+        self.block_watch = block_watch
+
+        contradiction_watch: list[list[tuple[int, bool]]] = [[] for _ in rules]
+        overrulers: list[tuple[int, ...]] = []
+        defeaters: list[tuple[int, ...]] = []
+        for i, r in enumerate(rules):
+            over_ids = []
+            defeat_ids = []
+            for j in by_head.get(r.head.complement(), ()):
+                other = rules[j]
+                if order.strictly_below(other.component, r.component):
+                    over_ids.append(j)
+                    contradiction_watch[j].append((i, True))
+                elif order.incomparable_or_equal(other.component, r.component):
+                    defeat_ids.append(j)
+                    contradiction_watch[j].append((i, False))
+            overrulers.append(tuple(over_ids))
+            defeaters.append(tuple(defeat_ids))
+        self.overrulers = tuple(overrulers)
+        self.defeaters = tuple(defeaters)
+        self.contradiction_watch = tuple(
+            tuple(watchers) for watchers in contradiction_watch
+        )
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+class SemiNaiveFixpoint:
+    """One delta-driven computation of ``V↑ω(∅)`` over a shared index.
+
+    The run's mutable state is public so that tests (and debuggers) can
+    audit counter soundness against the Definition-2 statuses after
+    :meth:`run`:
+
+    Attributes:
+        satisfied: per-rule count of body literals currently derived.
+        blocked: per-rule blocked flag.
+        live_overrulers: per-rule count of not-yet-blocked potential
+            overrulers; the rule is *overruled* iff the count is > 0.
+        live_defeaters: likewise for defeaters.
+        fired: per-rule flag — the rule fires under the least model
+            (applicable, not overruled, not defeated).
+        stage_deltas: the literals first derived at each stage, in
+            order; their union is the least model.
+    """
+
+    def __init__(self, index: RuleIndex, base) -> None:
+        self._index = index
+        self._base = frozenset(base)
+        n = len(index)
+        self.satisfied = [0] * n
+        self.blocked = [False] * n
+        self.live_overrulers = [len(ids) for ids in index.overrulers]
+        self.live_defeaters = [len(ids) for ids in index.defeaters]
+        self.fired = [False] * n
+        self.stage_deltas: list[frozenset[Literal]] = []
+
+    def run(self, max_iterations: Optional[int] = None) -> Interpretation:
+        """Compute ``V↑ω(∅)``; stage boundaries match naive iteration.
+
+        Raises :class:`~repro.lang.errors.InconsistencyError` if the
+        chain does not converge within the stage bound (impossible for a
+        correct engine unless ``max_iterations`` is set too low) or if
+        two contradicting rules both fire — the same surfacing as the
+        naive strategy.
+        """
+        index = self._index
+        heads = index.heads
+        body_sizes = index.body_sizes
+        body_watch = index.body_watch
+        block_watch = index.block_watch
+        contradiction_watch = index.contradiction_watch
+        satisfied = self.satisfied
+        blocked = self.blocked
+        live_over = self.live_overrulers
+        live_defeat = self.live_defeaters
+        fired = self.fired
+
+        bound = (
+            max_iterations
+            if max_iterations is not None
+            else 2 * len(self._base) + 2
+        )
+        obs = get_instrumentation()
+        derived: set[Literal] = set()
+        stages = 0
+        # Stage 1 candidates: only empty-body rules can be applicable
+        # at the empty interpretation.
+        candidates = {i for i, size in enumerate(body_sizes) if size == 0}
+        while candidates:
+            new_literals: set[Literal] = set()
+            applied = overruled = defeated = 0
+            for i in candidates:
+                if fired[i] or blocked[i]:
+                    continue
+                if satisfied[i] != body_sizes[i]:
+                    continue
+                threatened = False
+                if live_over[i]:
+                    overruled += 1
+                    threatened = True
+                if live_defeat[i]:
+                    defeated += 1
+                    threatened = True
+                if threatened:
+                    continue
+                fired[i] = True
+                applied += 1
+                head = heads[i]
+                if head in derived or head in new_literals:
+                    continue
+                complement = head.complement()
+                if complement in derived or complement in new_literals:
+                    raise InconsistencyError(
+                        f"V produced both {head} and {complement}; "
+                        "the input interpretation was inconsistent or the "
+                        "order is broken"
+                    )
+                new_literals.add(head)
+            if not new_literals:
+                break
+            stages += 1
+            if stages > bound:
+                raise InconsistencyError(
+                    "V failed to reach a fixpoint within the iteration "
+                    "bound; this indicates non-monotone behaviour (a bug)"
+                )
+            if obs.enabled:
+                obs.count("fixpoint.stages")
+                obs.count("fixpoint.rules_touched", len(candidates))
+                obs.count("fixpoint.rules_applied", applied)
+                obs.count("fixpoint.rules_overruled", overruled)
+                obs.count("fixpoint.rules_defeated", defeated)
+                obs.count("fixpoint.literals_derived", len(new_literals))
+                obs.observe("fixpoint.stage_literals", len(new_literals))
+                obs.observe("fixpoint.delta_size", len(new_literals))
+                obs.event(
+                    "fixpoint.stage",
+                    Level.DEBUG,
+                    stage=stages,
+                    new_literals=len(new_literals),
+                )
+            self.stage_deltas.append(frozenset(new_literals))
+            # Propagate the delta: advance satisfied counters, flip
+            # blocked flags, release overruled/defeated watchers.  The
+            # affected rules are the next stage's candidates.
+            next_candidates: set[int] = set()
+            for lit in new_literals:
+                derived.add(lit)
+                for i in body_watch.get(lit, ()):
+                    satisfied[i] += 1
+                    next_candidates.add(i)
+                for j in block_watch.get(lit, ()):
+                    if not blocked[j]:
+                        blocked[j] = True
+                        for i, is_overruler in contradiction_watch[j]:
+                            if is_overruler:
+                                live_over[i] -= 1
+                            else:
+                                live_defeat[i] -= 1
+                            next_candidates.add(i)
+            candidates = next_candidates
+        return Interpretation(derived, self._base)

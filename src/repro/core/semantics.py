@@ -29,7 +29,7 @@ from .interpretation import Interpretation, TruthValue
 from .models import ModelChecker
 from .solver import ModelEnumerator, SearchBudget
 from .statuses import ComponentOrder, StatusEvaluator, StatusReport
-from .transform import OrderedTransform
+from .transform import DEFAULT_STRATEGY, OrderedTransform, validate_strategy
 
 __all__ = ["OrderedSemantics"]
 
@@ -42,6 +42,9 @@ class OrderedSemantics:
         component: the component ``C`` whose point of view is taken.
         grounding: grounder options (depth bounds etc.).
         budget: search budget for the enumeration methods.
+        strategy: fixpoint evaluation strategy — ``"seminaive"``
+            (default, delta-driven) or ``"naive"`` (full rescans; the
+            differential-testing oracle).  See ``docs/evaluation.md``.
     """
 
     def __init__(
@@ -50,6 +53,7 @@ class OrderedSemantics:
         component: str,
         grounding: GroundingOptions = GroundingOptions(),
         budget: SearchBudget = SearchBudget(),
+        strategy: str = DEFAULT_STRATEGY,
     ) -> None:
         if component not in program:
             raise SemanticsError(f"no component named {component!r}")
@@ -57,6 +61,7 @@ class OrderedSemantics:
         self.component = component
         self._grounding_options = grounding
         self._budget = budget
+        self.strategy = validate_strategy(strategy)
 
     # ------------------------------------------------------------------
     # Grounding and shared machinery (built lazily, cached)
@@ -74,7 +79,9 @@ class OrderedSemantics:
 
     @cached_property
     def transform(self) -> OrderedTransform:
-        return OrderedTransform(self.evaluator, self.ground.base)
+        return OrderedTransform(
+            self.evaluator, self.ground.base, strategy=self.strategy
+        )
 
     @cached_property
     def checker(self) -> ModelChecker:
@@ -86,7 +93,9 @@ class OrderedSemantics:
 
     @cached_property
     def enumerator(self) -> ModelEnumerator:
-        return ModelEnumerator(self.evaluator, self.ground.base, self._budget)
+        return ModelEnumerator(
+            self.evaluator, self.ground.base, self._budget, strategy=self.strategy
+        )
 
     # ------------------------------------------------------------------
     # Interpretations

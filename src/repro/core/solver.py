@@ -34,7 +34,7 @@ from .assumptions import AssumptionAnalyzer
 from .interpretation import Interpretation
 from .models import ModelChecker
 from .statuses import StatusEvaluator
-from .transform import OrderedTransform
+from .transform import DEFAULT_STRATEGY, OrderedTransform
 
 __all__ = ["SearchBudget", "ModelEnumerator"]
 
@@ -61,20 +61,28 @@ class ModelEnumerator:
         evaluator: StatusEvaluator,
         base,
         budget: SearchBudget = SearchBudget(),
+        strategy: str = DEFAULT_STRATEGY,
     ) -> None:
         self._eval = evaluator
         self._base = frozenset(base)
         self._checker = ModelChecker(evaluator, self._base)
         self._analyzer = AssumptionAnalyzer(evaluator, self._base)
         self._budget = budget
+        self._transform = OrderedTransform(evaluator, self._base, strategy=strategy)
         self._least: Optional[Interpretation] = None
 
     def _least_model(self) -> Interpretation:
         """``V↑ω(∅)`` — by Theorem 1(b) it is contained in every model,
         so its literals can be fixed up-front and the search branches
-        only over the atoms it leaves undefined."""
+        only over the atoms it leaves undefined.
+
+        Computed through the enumerator's one transform, so every
+        fixpoint the search triggers shares the evaluator's semi-naive
+        :class:`~repro.core.incremental.RuleIndex` instead of
+        rebuilding watch lists per call.
+        """
         if self._least is None:
-            self._least = OrderedTransform(self._eval, self._base).least_fixpoint()
+            self._least = self._transform.least_fixpoint()
         return self._least
 
     # ------------------------------------------------------------------

@@ -19,12 +19,15 @@ Definition-2 ``overruled`` and the stronger ``overruled_by_applied``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from ..grounding.grounder import GroundRule
 from ..lang.literals import Literal
 from ..lang.poset import PartialOrder
 from .interpretation import Interpretation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .incremental import RuleIndex
 
 __all__ = ["ComponentOrder", "StatusReport", "StatusEvaluator", "StatusSnapshot"]
 
@@ -93,6 +96,7 @@ class StatusEvaluator:
         self._rules = tuple(rules)
         self._order = order
         self._by_head: dict[Literal, list[GroundRule]] = {}
+        self._index: Optional["RuleIndex"] = None
         for r in self._rules:
             self._by_head.setdefault(r.head, []).append(r)
 
@@ -106,6 +110,21 @@ class StatusEvaluator:
 
     def rules_with_head(self, head: Literal) -> tuple[GroundRule, ...]:
         return tuple(self._by_head.get(head, ()))
+
+    @property
+    def index(self) -> "RuleIndex":
+        """The semi-naive watch-list index over these rules.
+
+        Built lazily on first use and cached for the evaluator's
+        lifetime, so repeated fixpoints (the solver visits one per
+        search tree, the reductions one per reduced program) share a
+        single index.
+        """
+        if self._index is None:
+            from .incremental import RuleIndex
+
+            self._index = RuleIndex(self)
+        return self._index
 
     # ------------------------------------------------------------------
     # Definition 2

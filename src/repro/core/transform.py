@@ -11,10 +11,21 @@ least fixpoint ``V↑ω(∅)`` is
 * assumption-free, and
 * the intersection of all models (Theorem 1b) — the *least model*.
 
-The fixpoint is computed by naive iteration from the empty
-interpretation, asserting consistency of every iterate (consistency is
-an invariant: two applicable contradicting rules always overrule or
-defeat one another, so at most one head survives).
+The fixpoint is computed by one of two interchangeable strategies
+(cross-checked literal-for-literal by the differential property suite
+and CI job):
+
+* ``"seminaive"`` (the default) — the delta-driven evaluation of
+  :mod:`repro.core.incremental`: each stage touches only the rules
+  watching a literal of the previous stage's delta;
+* ``"naive"`` — iterate ``step`` from the empty interpretation,
+  rebuilding a full :class:`~repro.core.statuses.StatusSnapshot` and
+  rescanning every ground rule per stage.  Kept as the executable
+  reading of Definition 4 and as the differential-testing oracle.
+
+Consistency of every iterate is asserted under both strategies
+(consistency is an invariant: two applicable contradicting rules always
+overrule or defeat one another, so at most one head survives).
 """
 
 from __future__ import annotations
@@ -24,22 +35,55 @@ from typing import Optional
 from ..lang.errors import InconsistencyError
 from ..lang.literals import Literal, is_consistent
 from ..obs import Level, get_instrumentation
+from .incremental import SemiNaiveFixpoint
 from .interpretation import Interpretation
 from .statuses import StatusEvaluator
 
-__all__ = ["OrderedTransform"]
+__all__ = ["OrderedTransform", "STRATEGIES", "DEFAULT_STRATEGY"]
+
+#: Recognised fixpoint evaluation strategies.
+STRATEGIES = ("naive", "seminaive")
+
+#: Strategy used when none is requested explicitly.
+DEFAULT_STRATEGY = "seminaive"
+
+
+def validate_strategy(strategy: str) -> str:
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown fixpoint strategy {strategy!r}; "
+            f"expected one of {', '.join(STRATEGIES)}"
+        )
+    return strategy
 
 
 class OrderedTransform:
-    """``V_{P,C}`` over a fixed evaluator (ground rules + order)."""
+    """``V_{P,C}`` over a fixed evaluator (ground rules + order).
 
-    def __init__(self, evaluator: StatusEvaluator, base) -> None:
+    Args:
+        evaluator: the Definition-2 status evaluator for ``ground(C*)``.
+        base: the Herbrand base of ``C*``.
+        strategy: default :meth:`least_fixpoint` strategy —
+            ``"seminaive"`` or ``"naive"``.
+    """
+
+    def __init__(
+        self,
+        evaluator: StatusEvaluator,
+        base,
+        strategy: str = DEFAULT_STRATEGY,
+    ) -> None:
         self._eval = evaluator
         self._base = frozenset(base)
+        self._strategy = validate_strategy(strategy)
 
     @property
     def evaluator(self) -> StatusEvaluator:
         return self._eval
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
 
     def step(self, interp: Interpretation) -> Interpretation:
         """One application of ``V`` to an interpretation."""
@@ -97,13 +141,49 @@ class OrderedTransform:
         obs.count("fixpoint.rules_defeated", defeated)
         obs.count("fixpoint.rules_inert", inert)
 
-    def least_fixpoint(self, max_iterations: Optional[int] = None) -> Interpretation:
+    def least_fixpoint(
+        self,
+        max_iterations: Optional[int] = None,
+        strategy: Optional[str] = None,
+    ) -> Interpretation:
         """``V↑ω(∅)``: iterate from the empty interpretation to a fixpoint.
 
         Termination is guaranteed for finite ground programs: ``V`` is
         monotone and the literal space is finite, so the iterates form a
         strictly increasing chain of length at most ``2·|base|``.
+
+        Args:
+            max_iterations: override the stage bound (mainly for tests).
+            strategy: override the transform's default strategy for this
+                call only.
         """
+        chosen = (
+            self._strategy if strategy is None else validate_strategy(strategy)
+        )
+        obs = get_instrumentation()
+        if chosen == "seminaive":
+            run = SemiNaiveFixpoint(self._eval.index, self._base)
+            if not obs.enabled:
+                return run.run(max_iterations)
+            with obs.span(
+                "fixpoint", rules=len(self._eval.rules), strategy=chosen
+            ):
+                result = run.run(max_iterations)
+                obs.gauge("fixpoint.least_model_size", len(result.literals))
+                obs.event(
+                    "fixpoint.converged",
+                    Level.INFO,
+                    stages=len(run.stage_deltas),
+                    literals=len(result.literals),
+                )
+            return result
+        return self._naive_least_fixpoint(max_iterations)
+
+    def _naive_least_fixpoint(
+        self, max_iterations: Optional[int] = None
+    ) -> Interpretation:
+        """The ``"naive"`` strategy: repeated full applications of
+        :meth:`step` — the differential oracle for the semi-naive path."""
         bound = max_iterations if max_iterations is not None else 2 * len(self._base) + 2
         obs = get_instrumentation()
         if not obs.enabled:
@@ -114,7 +194,9 @@ class OrderedTransform:
                     return current
                 current = nxt
         else:
-            with obs.span("fixpoint", rules=len(self._eval.rules)):
+            with obs.span(
+                "fixpoint", rules=len(self._eval.rules), strategy="naive"
+            ):
                 current = Interpretation((), self._base)
                 for stage in range(1, bound + 2):
                     nxt = self.step(current)

@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 
 from ..core.semantics import OrderedSemantics
 from ..core.solver import SearchBudget
+from ..core.transform import DEFAULT_STRATEGY
 from ..grounding.grounder import GroundingOptions
 from ..lang.literals import Atom, Literal
 from ..lang.program import Component, OrderedProgram
@@ -64,10 +65,20 @@ class ReducedProgram:
         self,
         grounding: GroundingOptions = GroundingOptions(),
         budget: SearchBudget = SearchBudget(),
+        strategy: str = DEFAULT_STRATEGY,
     ) -> OrderedSemantics:
-        """An :class:`OrderedSemantics` view at the designated component."""
+        """An :class:`OrderedSemantics` view at the designated component.
+
+        The ``strategy`` is forwarded to the fixpoint engine, so the
+        OV/EV/3V reductions inherit semi-naive evaluation (and its
+        shared rule index) by default.
+        """
         return OrderedSemantics(
-            self.program, self.component, grounding=grounding, budget=budget
+            self.program,
+            self.component,
+            grounding=grounding,
+            budget=budget,
+            strategy=strategy,
         )
 
 

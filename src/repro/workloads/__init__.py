@@ -4,7 +4,7 @@ classic deductive-database programs, and seeded random programs."""
 from . import classic, experts, hierarchies, paper, random_programs
 from .classic import ancestor_chain, even_odd, two_stable, win_move
 from .experts import contradicting_panel, expert_panel
-from .hierarchies import diamond, override_chain, taxonomy
+from .hierarchies import diamond, override_chain, release_chain, taxonomy
 from .random_programs import (
     random_negative_rules,
     random_ordered_program,
@@ -27,6 +27,7 @@ __all__ = [
     "override_chain",
     "diamond",
     "taxonomy",
+    "release_chain",
     "random_rules",
     "random_seminegative_rules",
     "random_negative_rules",

@@ -9,7 +9,10 @@ These exercise the two contradiction-resolution mechanisms at scale:
   middle components disagree (pure *defeating*);
 * :func:`taxonomy` — a synthetic animal-style taxonomy with defaults and
   per-species exceptions, the paper's Figure-1 pattern grown to
-  realistic size.
+  realistic size;
+* :func:`release_chain` — the Figure-1 blocked-overruler *release*
+  serialized: the fixpoint advances one level every two stages, the
+  worst case for naive full-rescan iteration.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ from __future__ import annotations
 from ..lang.parser import parse_rules
 from ..lang.program import Component, OrderedProgram
 
-__all__ = ["override_chain", "diamond", "taxonomy"]
+__all__ = ["override_chain", "diamond", "taxonomy", "release_chain"]
 
 
 def override_chain(depth: int) -> OrderedProgram:
@@ -96,4 +99,39 @@ def taxonomy(n_species: int, n_exceptional: int) -> OrderedProgram:
             "specific": parse_rules("\n".join(specific_lines)),
         },
         [("specific", "general")],
+    )
+
+
+def release_chain(depth: int) -> OrderedProgram:
+    """A serialized ladder of Figure-1 overruler releases.
+
+    For each level ``i`` in ``1..depth`` the upper component carries
+    ``p(i) :- p(i-1)`` and ``-q(i) :- p(i-1)`` while the lower
+    component threatens with ``-p(i) :- q(i)``.  The threat is *not
+    blocked* until ``-q(i)`` is derived, so ``p(i)`` stays overruled
+    for exactly one extra stage: deriving ``p(i-1)`` first unlocks
+    ``-q(i)``, whose derivation blocks the threat, which releases
+    ``p(i)``.  The least model therefore grows by one level every two
+    stages — ``2·depth + 1`` stages in all — and every literal
+    ``p(0..depth)`` and ``-q(1..depth)`` is eventually true.
+
+    Naive iteration rescans all ``3·depth + 1`` ground rules at each of
+    those stages (``O(depth²)`` work); the semi-naive engine touches
+    each watch list O(1) times (``O(depth)``), which is what
+    ``benchmarks/bench_fixpoint_scaling.py`` measures.
+    """
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    upper_lines = ["p(0)."]
+    lower_lines = []
+    for i in range(1, depth + 1):
+        upper_lines.append(f"p({i}) :- p({i - 1}).")
+        upper_lines.append(f"-q({i}) :- p({i - 1}).")
+        lower_lines.append(f"-p({i}) :- q({i}).")
+    return OrderedProgram(
+        [
+            Component("threats", parse_rules("\n".join(lower_lines))),
+            Component("ladder", parse_rules("\n".join(upper_lines))),
+        ],
+        [("threats", "ladder")],
     )

@@ -1,6 +1,5 @@
 """Unit tests for the closure-gap linter."""
 
-import pytest
 
 from repro.analysis.lint import lint_component, lint_program
 from repro.core.semantics import OrderedSemantics

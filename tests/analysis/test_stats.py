@@ -1,7 +1,7 @@
 """Unit tests for program statistics and the paper's size measure."""
 
 from repro.analysis.stats import program_size, program_stats
-from repro.lang.parser import parse_program, parse_rule, parse_rules
+from repro.lang.parser import parse_program, parse_rule
 from repro.workloads.paper import figure1, figure3
 
 

@@ -1,13 +1,12 @@
 """Unit tests for assumption sets, the enabled version and Theorem 1(a)
 — anchored on Example 4 of the paper."""
 
-import pytest
 
 from repro.core.assumptions import literal_closure
 from repro.core.semantics import OrderedSemantics
 from repro.grounding.grounder import GroundRule
 from repro.lang.literals import neg, pos
-from repro.workloads.paper import example4, example4_extended, example5, figure1
+from repro.workloads.paper import example4, example4_extended, example5
 
 from ..conftest import semantics_of
 

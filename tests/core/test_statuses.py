@@ -3,7 +3,6 @@ paper as the reference scenario."""
 
 import pytest
 
-from repro.core.interpretation import Interpretation
 from repro.core.semantics import OrderedSemantics
 from repro.lang.parser import parse_literal
 from repro.workloads.paper import figure1, figure1_flat

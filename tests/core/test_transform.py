@@ -3,11 +3,9 @@ Lemma 1, Proposition 1)."""
 
 import random
 
-import pytest
 
 from repro.core.interpretation import Interpretation
 from repro.core.semantics import OrderedSemantics
-from repro.workloads.paper import figure1, figure2, figure3
 from repro.workloads.random_programs import random_ordered_program
 
 from ..conftest import semantics_of

@@ -9,9 +9,9 @@ from repro.grounding.substitution import (
     unify,
     unify_atoms,
 )
-from repro.lang.literals import Atom, neg, pos
+from repro.lang.literals import Atom, neg
 from repro.lang.parser import parse_rule, parse_term
-from repro.lang.terms import Compound, Constant, Variable
+from repro.lang.terms import Constant, Variable
 
 
 X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")

@@ -5,7 +5,6 @@ import pytest
 
 from repro.lang.literals import (
     Atom,
-    Literal,
     complement_set,
     is_consistent,
     lit,

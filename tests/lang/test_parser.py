@@ -3,7 +3,7 @@ negation/minus ambiguity."""
 
 import pytest
 
-from repro.lang.builtins import BinaryOp, Comparison
+from repro.lang.builtins import BinaryOp
 from repro.lang.errors import ParseError
 from repro.lang.literals import neg, pos
 from repro.lang.parser import (

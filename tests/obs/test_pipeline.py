@@ -5,7 +5,7 @@ import pytest
 from repro.core.semantics import OrderedSemantics
 from repro.db.database import Database
 from repro.db.engine import DatalogEngine
-from repro.lang.parser import parse_program, parse_rules
+from repro.lang.parser import parse_rules
 from repro.obs import Level, RingBufferSink, get_instrumentation, instrumented
 from repro.reductions import extended_version, ordered_version, three_level_version
 from repro.workloads.paper import figure1, figure2

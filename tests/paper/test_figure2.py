@@ -15,7 +15,6 @@ defeating.  The paper's claims:
 import pytest
 
 from repro.core.semantics import OrderedSemantics
-from repro.lang.errors import InconsistencyError
 from repro.workloads.paper import figure2, scaled_figure2
 
 

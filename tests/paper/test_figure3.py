@@ -11,7 +11,6 @@ scenarios walked through in the introduction:
    by the rule of Expert3 ... take_loan is inferred at myself level".
 """
 
-import pytest
 
 from repro.core.interpretation import TruthValue
 from repro.core.semantics import OrderedSemantics

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.semantics import OrderedSemantics
-from repro.grounding.grounder import Grounder
 from repro.lang.literals import Atom, Literal
 from repro.lang.program import Component, OrderedProgram
 from repro.lang.rules import Rule
@@ -71,7 +70,6 @@ def test_least_model_is_model_and_af_first_order(program):
 def test_ground_instance_count_bounds(program):
     # Each rule has at most 2 variables over a 2-constant universe:
     # at most 4 instances (guards absent), minus guard-free dedup.
-    grounder = Grounder()
     for name in program.component_names:
         sem = OrderedSemantics(program, name)
         visible = program.visible_rules(name)

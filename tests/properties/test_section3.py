@@ -9,7 +9,6 @@ from repro.classical.stable import founded_models, gl_stable_models
 from repro.classical.stable import stable_models as sz_stable_models
 from repro.classical.threevalued import is_three_valued_model, three_valued_models
 from repro.classical.wellfounded import well_founded
-from repro.core.interpretation import Interpretation
 from repro.grounding.grounder import Grounder
 from repro.reductions.extended_version import extended_version
 from repro.reductions.ordered_version import ordered_version

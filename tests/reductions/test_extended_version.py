@@ -1,7 +1,7 @@
 """Unit tests for EV(C): reflexive rules and Proposition 5 anchors."""
 
 from repro.core.interpretation import Interpretation
-from repro.lang.literals import neg, pos
+from repro.lang.literals import pos
 from repro.lang.parser import parse_rules
 from repro.reductions.extended_version import extended_version, reflexive_rules
 from repro.reductions.ordered_version import ordered_version

@@ -7,7 +7,7 @@ import json
 
 import pytest
 
-from repro import Explainer, KnowledgeBase, OrderedSemantics, parse_program
+from repro import Explainer, KnowledgeBase, parse_program
 from repro.analysis import conflict_summary, program_stats, render_hasse
 from repro.cli import main
 from repro.kb.query import QueryMode

@@ -15,6 +15,7 @@ from repro.workloads import (
     random_ordered_program,
     random_rules,
     random_seminegative_rules,
+    release_chain,
     taxonomy,
     two_stable,
     win_move,
@@ -40,6 +41,32 @@ class TestOverrideChain:
     def test_negative_depth_rejected(self):
         with pytest.raises(ValueError):
             override_chain(-1)
+
+
+class TestReleaseChain:
+    @pytest.mark.parametrize("depth", [1, 3, 6])
+    def test_every_level_eventually_released(self, depth):
+        sem = OrderedSemantics(release_chain(depth), "threats")
+        model = sem.least_model
+        assert len(model) == 2 * depth + 1
+        for i in range(depth + 1):
+            assert sem.holds(f"p({i})")
+        for i in range(1, depth + 1):
+            assert sem.holds(f"-q({i})")
+
+    def test_one_release_every_two_stages(self):
+        from repro.core.incremental import SemiNaiveFixpoint
+
+        depth = 5
+        sem = OrderedSemantics(release_chain(depth), "threats")
+        run = SemiNaiveFixpoint(sem.evaluator.index, sem.ground.base)
+        run.run()
+        assert len(run.stage_deltas) == 2 * depth + 1
+        assert all(len(delta) == 1 for delta in run.stage_deltas)
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            release_chain(0)
 
 
 class TestDiamond:
