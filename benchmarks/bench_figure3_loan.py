@@ -31,7 +31,7 @@ def test_figure3_paper_scenarios(benchmark):
         ]
 
     values = benchmark(run)
-    for (facts, expected), value in zip(PAPER_SCENARIOS, values):
+    for (facts, expected), value in zip(PAPER_SCENARIOS, values, strict=True):
         assert value is expected, (facts, value)
     record(
         benchmark,

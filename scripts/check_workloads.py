@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Gate: the built-in workloads must stay warning-clean under the
+static analyzer.
+
+Usage: PYTHONPATH=src python scripts/check_workloads.py
+
+Runs ``repro.analysis.static.analyze_program`` over every curated
+built-in workload (paper figures and examples, their scaled variants,
+the hierarchy/expert generators and the reduction outputs) and fails
+when any of them reports a warning-or-worse diagnostic.  Informational
+notes (potential defeats, stratification labels) are expected and do
+not fail the gate.
+
+Deliberately excluded, with the diagnostic each one legitimately
+triggers:
+
+* ``paper.example3`` / ``paper.example4`` — abstract propositional
+  sketches whose bodies mention predicates with no rules
+  (undefined-predicate).
+* ``paper.example9_colored`` — its choice rule binds a variable only in
+  a negative literal, exactly the unsafe-rule pattern the paper uses to
+  motivate the extended semantics.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.static import Severity, analyze_program
+from repro.reductions import ordered_version, three_level_version
+from repro.workloads import experts, hierarchies, paper
+
+
+def workloads():
+    yield "paper.figure1", paper.figure1()
+    yield "paper.figure1_flat", paper.figure1_flat()
+    yield "paper.figure2", paper.figure2()
+    yield "paper.figure3(19,16)", paper.figure3(
+        ("inflation(19).", "loan_rate(16).")
+    )
+    yield "paper.figure3(12,16)", paper.figure3(
+        ("inflation(12).", "loan_rate(16).")
+    )
+    yield "paper.example4_extended", paper.example4_extended()
+    yield "paper.example5", paper.example5()
+    yield "ordered(paper.example6_ancestor)", ordered_version(
+        paper.example6_ancestor()
+    ).program
+    yield "ordered(paper.example7)", ordered_version(paper.example7()).program
+    yield "three_level(paper.example8_birds)", three_level_version(
+        paper.example8_birds()
+    ).program
+    yield "paper.scaled_figure1(8,3)", paper.scaled_figure1(8, 3)
+    yield "paper.scaled_figure2(6,2)", paper.scaled_figure2(6, 2)
+    for name, program in sorted(
+        paper.scaled_figure3({"boom": (12, 10), "bust": (9, 16)}).items()
+    ):
+        yield f"paper.scaled_figure3[{name}]", program
+    yield "hierarchies.override_chain(4)", hierarchies.override_chain(4)
+    yield "hierarchies.diamond(2)", hierarchies.diamond(2)
+    yield "hierarchies.taxonomy(6,2)", hierarchies.taxonomy(6, 2)
+    yield "hierarchies.release_chain(3)", hierarchies.release_chain(3)
+    yield "experts.expert_panel(3,3)", experts.expert_panel(3, 3)
+    yield "experts.contradicting_panel(3)", experts.contradicting_panel(3)
+
+
+def main() -> int:
+    failures = 0
+    total = 0
+    for name, program in workloads():
+        total += 1
+        report = analyze_program(program)
+        gating = report.gating(Severity.INFO)
+        notes = len(report.diagnostics) - len(gating)
+        if gating:
+            failures += 1
+            print(f"{name}: FAIL ({len(gating)} warning(s)+)")
+            for diagnostic in gating:
+                print(f"  {diagnostic}")
+        else:
+            print(f"{name}: ok ({notes} informational note(s))")
+    if failures:
+        print(f"{failures}/{total} workload(s) have warning-level diagnostics")
+        return 1
+    print(f"all {total} workloads warning-clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,20 @@
-"""Program analysis: conflict graphs and structural statistics."""
+"""Program analysis: static checks, conflict graphs and statistics."""
 
 from .conflicts import Conflict, ConflictKind, conflict_summary, find_conflicts
 from .hasse import hasse_layers, render_hasse
 from .lint import LintWarning, lint_component, lint_program
+from .static import (
+    Diagnostic,
+    EdgeKind,
+    OrderRelation,
+    PredicateDependencyGraph,
+    Severity,
+    StaticReport,
+    ViewClassification,
+    analyze_program,
+    build_pdg,
+    classify_view,
+)
 from .stats import ProgramStats, program_size, program_stats
 
 __all__ = [
@@ -15,6 +27,16 @@ __all__ = [
     "LintWarning",
     "lint_component",
     "lint_program",
+    "Diagnostic",
+    "EdgeKind",
+    "OrderRelation",
+    "PredicateDependencyGraph",
+    "Severity",
+    "StaticReport",
+    "ViewClassification",
+    "analyze_program",
+    "build_pdg",
+    "classify_view",
     "ProgramStats",
     "program_size",
     "program_stats",

@@ -54,7 +54,7 @@ def render_hasse(source: Union[OrderedProgram, PartialOrder]) -> str:
         return "(empty hierarchy)"
     covers = order.covering_pairs()
     lines = []
-    for depth, layer in enumerate(layers):
+    for layer in layers:
         lines.append("  ".join(f"[{name}]" for name in layer))
         incoming = sorted(
             (low, high) for low, high in covers if high in layer

@@ -23,8 +23,8 @@ model may still contain a non-derivable blocker):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
 
 from ..core.semantics import OrderedSemantics
 from ..grounding.grounder import GroundRule
@@ -38,25 +38,35 @@ __all__ = ["LintWarning", "lint_component", "lint_program"]
 class LintWarning:
     """One finding: ``rule`` is suppressed by ``witness``; the
     ``unblockable`` literals are the witness's body literals whose
-    complements nothing derives."""
+    complements nothing derives.  When the same rule is suppressed by
+    several witnesses (or by the same witness in several nested views),
+    the aggregated finding keeps one representative witness and counts
+    the rest in ``extra_witnesses``."""
 
     kind: str  # "permanently-overruled" | "permanently-defeated"
     component: str
     rule: GroundRule
     witness: GroundRule
     unblockable: tuple[Literal, ...]
+    extra_witnesses: int = 0
 
     def __str__(self) -> str:
         verb = (
             "overruled" if self.kind == "permanently-overruled" else "defeated"
         )
         fixes = ", ".join(str(l.complement()) for l in self.unblockable)
-        return (
+        text = (
             f"[{self.component}] {self.rule}\n"
             f"  is permanently {verb} by  {self.witness}\n"
             f"  (never blockable: no rule derives any of {fixes} — "
             "add a closure rule for one of them)"
         )
+        if self.extra_witnesses:
+            text += (
+                f"\n  (+{self.extra_witnesses} more witness(es) suppress "
+                "the same rule)"
+            )
+        return text
 
 
 def _never_blockable(
@@ -113,31 +123,53 @@ def lint_component(semantics: OrderedSemantics) -> Iterator[LintWarning]:
 def lint_program(
     program: OrderedProgram,
     aggregate: bool = True,
+    component: Optional[str] = None,
     **semantics_kwargs,
 ) -> list[LintWarning]:
-    """Findings across every component view.
+    """Findings across every component view (or just ``component``'s,
+    mirroring ``olp run -c``).
 
     With ``aggregate`` (the default), findings are deduplicated per
-    *source-rule* pair — one representative ground instance per
-    (suppressed rule, witnessing rule, kind) — since a single non-ground
-    rule pair typically produces one finding per Herbrand instance.
+    *suppressed source rule* — one representative per (kind, suppressed
+    rule), since a single non-ground rule typically produces one finding
+    per Herbrand instance and per witnessing contradictor, repeated in
+    every nested component view that contains both rules.  The number of
+    distinct extra witnesses is kept on
+    :attr:`LintWarning.extra_witnesses`.
     """
+    names = (
+        [component] if component is not None
+        else sorted(program.component_names)
+    )
     seen: set[tuple] = set()
     findings: list[LintWarning] = []
-    for name in sorted(program.component_names):
+    index: dict[tuple, int] = {}
+    witnesses: dict[tuple, set[tuple]] = {}
+    for name in names:
         sem = OrderedSemantics(program, name, **semantics_kwargs)
         for warning in lint_component(sem):
+            witness_key = (
+                warning.witness.component,
+                warning.witness.origin or warning.witness,
+            )
             if aggregate:
                 key = (
                     warning.kind,
                     warning.rule.component,
                     warning.rule.origin or warning.rule,
-                    warning.witness.component,
-                    warning.witness.origin or warning.witness,
                 )
+                witnesses.setdefault(key, set()).add(witness_key)
             else:
                 key = (warning.kind, warning.rule, warning.witness)
             if key not in seen:
                 seen.add(key)
+                index[key] = len(findings)
                 findings.append(warning)
+    if aggregate:
+        for key, extra in witnesses.items():
+            if len(extra) > 1:
+                at = index[key]
+                findings[at] = replace(
+                    findings[at], extra_witnesses=len(extra) - 1
+                )
     return findings

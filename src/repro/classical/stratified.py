@@ -14,7 +14,15 @@ the ground rules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Iterable, Mapping, Optional, Sequence
+from typing import (
+    AbstractSet,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 from ..grounding.grounder import GroundRule
 from ..lang.literals import Atom
@@ -23,10 +31,14 @@ from ..lang.rules import Rule
 __all__ = [
     "DependencyGraph",
     "dependency_graph",
+    "strongly_connected_components",
     "is_stratified",
     "stratification",
     "perfect_model",
+    "stratified_least_model",
 ]
+
+T = TypeVar("T", bound=Hashable)
 
 
 @dataclass(frozen=True)
@@ -68,25 +80,26 @@ def dependency_graph(rules: Iterable[Rule]) -> DependencyGraph:
     )
 
 
-def _strongly_connected_components(
-    nodes: frozenset[str], edges: frozenset[tuple[str, str]]
-) -> list[frozenset[str]]:
+def strongly_connected_components(
+    nodes: Iterable[T], edges: Iterable[tuple[T, T]]
+) -> list[frozenset[T]]:
     """Tarjan's algorithm, iterative to avoid recursion limits.  Returns
-    SCCs in reverse topological order (callees before callers)."""
-    successors: dict[str, list[str]] = {n: [] for n in nodes}
+    SCCs in reverse topological order (callees before callers).  Nodes
+    must be mutually sortable for the deterministic visit order."""
+    successors: dict[T, list[T]] = {n: [] for n in nodes}
     for src, dst in edges:
         successors[src].append(dst)
     index_counter = 0
-    indices: dict[str, int] = {}
-    lowlinks: dict[str, int] = {}
-    on_stack: set[str] = set()
-    stack: list[str] = []
-    result: list[frozenset[str]] = []
+    indices: dict[T, int] = {}
+    lowlinks: dict[T, int] = {}
+    on_stack: set[T] = set()
+    stack: list[T] = []
+    result: list[frozenset[T]] = []
 
-    for root in sorted(nodes):
+    for root in sorted(successors):  # type: ignore[type-var]
         if root in indices:
             continue
-        work: list[tuple[str, int]] = [(root, 0)]
+        work: list[tuple[T, int]] = [(root, 0)]
         while work:
             node, child_index = work[-1]
             if child_index == 0:
@@ -123,6 +136,10 @@ def _strongly_connected_components(
                 parent = work[-1][0]
                 lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
     return result
+
+
+# Backwards-compatible private alias (pre-PR3 name).
+_strongly_connected_components = strongly_connected_components
 
 
 def is_stratified(rules: Iterable[Rule]) -> bool:
@@ -216,3 +233,67 @@ def perfect_model(
                     true_atoms.add(r.head.atom)
                     changed = True
     return frozenset(true_atoms)
+
+
+def stratified_least_model(
+    non_ground_rules: Sequence[Rule],
+    ground_rules: Iterable[GroundRule],
+) -> frozenset[Atom]:
+    """Least *ordered* model of a stratified seminegative program, under
+    the paper's membership reading of classical negation.
+
+    Unlike :func:`perfect_model` (negation as failure), a negative body
+    literal here is true only when it is a member of the interpretation —
+    and a seminegative program has no negative heads, so no negative
+    literal is ever derivable.  Rules carrying a negative body literal
+    therefore never fire, and the least model is the Horn least fixpoint
+    of the remaining positive rules, evaluated stratum by stratum with
+    each stratum seeded by the ones below.  This is what makes routing
+    from `OrderedSemantics` sound: for a single-component seminegative
+    view there are no contradictions, hence no overruling or defeating,
+    and ``V_{P,C}`` degenerates to the Horn consequence operator.
+
+    Raises:
+        ValueError: when the non-ground program is not stratified.
+    """
+    strata = stratification(non_ground_rules)
+    if strata is None:
+        raise ValueError("program is not stratified")
+    horn = [r for r in ground_rules if all(l.positive for l in r.body)]
+    by_level: dict[int, list[GroundRule]] = {}
+    for r in horn:
+        by_level.setdefault(strata.get(r.head.predicate, 0), []).append(r)
+    atoms: set[Atom] = set()
+    for level in sorted(by_level):
+        _horn_closure(by_level[level], atoms)
+    return frozenset(atoms)
+
+
+def _horn_closure(rules: Sequence[GroundRule], atoms: set[Atom]) -> None:
+    """Extend ``atoms`` in place with the Horn closure of ``rules``.
+
+    Semi-naive: each not-yet-satisfied rule waits on its missing body
+    atoms; deriving an atom re-examines only the rules watching it.
+    """
+    waiting: dict[Atom, list[GroundRule]] = {}
+    frontier: list[Atom] = []
+
+    def derive(atom: Atom) -> None:
+        if atom not in atoms:
+            atoms.add(atom)
+            frontier.append(atom)
+
+    for r in rules:
+        missing = {l.atom for l in r.body if l.atom not in atoms}
+        if missing:
+            for atom in missing:
+                waiting.setdefault(atom, []).append(r)
+        else:
+            derive(r.head.atom)
+    while frontier:
+        atom = frontier.pop()
+        for r in waiting.get(atom, ()):
+            if r.head.atom not in atoms and all(
+                l.atom in atoms for l in r.body
+            ):
+                derive(r.head.atom)

@@ -9,6 +9,9 @@ Installed as ``olp`` (also ``python -m repro``).  Subcommands:
 * ``olp explain FILE -c COMPONENT`` — Definition-2 status of every
   ground rule under the least model, plus the conflict summary.
 * ``olp stats FILE`` — structural statistics of the program.
+* ``olp check FILE...`` — static analysis: safety, undefined predicates,
+  arity clashes, defeat traps, stratification classification and more
+  (``docs/analysis.md``); ``--max-severity`` controls the exit code.
 * ``olp profile FILE -c COMPONENT`` — run with instrumentation on and
   print a per-phase timing / counter breakdown.
 
@@ -28,6 +31,7 @@ from typing import Optional, Sequence
 from .analysis.conflicts import conflict_summary
 from .analysis.stats import program_stats
 from .core.semantics import OrderedSemantics
+from .core.transform import AUTO_STRATEGY, SEMANTICS_STRATEGIES
 from .kb.query import evaluate_query
 from .lang.errors import ReproError
 from .lang.parser import parse_program
@@ -70,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print an instrumentation report after the result",
     )
+    run.add_argument(
+        "--strategy",
+        choices=list(SEMANTICS_STRATEGIES),
+        default=AUTO_STRATEGY,
+        help="fixpoint strategy: 'auto' routes stratified views to the "
+        "classical backend, 'classical' requires routing, "
+        "'seminaive'/'naive' force the ordered engine",
+    )
 
     query = sub.add_parser("query", help="answer a literal pattern")
     _add_common(query)
@@ -106,12 +118,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("file", help="path to an .olp file")
     lint.add_argument(
+        "-c",
+        "--component",
+        default=None,
+        help="lint a single component view (default: every view)",
+    )
+    lint.add_argument(
         "--max-depth",
         type=int,
         default=None,
         help="Herbrand-universe depth bound (needed with function symbols)",
     )
     _add_output_flags(lint)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis over the non-ground program (no solving): "
+        "safety, undefined predicates, arity clashes, defeat traps, "
+        "stratification",
+    )
+    check.add_argument("files", nargs="+", help="paths to .olp files")
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON report per file",
+    )
+    check.add_argument(
+        "--max-severity",
+        choices=["info", "warning", "error"],
+        default="info",
+        help="highest severity that still exits 0 (default: info — any "
+        "warning or error fails the check)",
+    )
+    check.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print an instrumentation report after the result",
+    )
+    _add_output_flags(check)
 
     profile = sub.add_parser(
         "profile",
@@ -198,7 +242,10 @@ def _semantics(args: argparse.Namespace) -> OrderedSemantics:
     program = _load(args.file)
     component = _pick_component(program, args.component)
     return OrderedSemantics(
-        program, component, grounding=GroundingOptions(max_depth=args.max_depth)
+        program,
+        component,
+        grounding=GroundingOptions(max_depth=args.max_depth),
+        strategy=getattr(args, "strategy", AUTO_STRATEGY),
     )
 
 
@@ -273,7 +320,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         sem = OrderedSemantics(
             program, component, grounding=GroundingOptions(max_depth=args.max_depth)
         )
-        sem.ground  # grounding phase (span "ground")
+        _ = sem.ground  # grounding phase (span "ground")
         model = sem.least_model  # fixpoint phase
         counts = {"least": len(model.literals)}
         if args.semantics == "stable":
@@ -343,7 +390,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     program = _load(args.file)
     findings = lint_program(
-        program, grounding=GroundingOptions(max_depth=args.max_depth)
+        program,
+        component=args.component,
+        grounding=GroundingOptions(max_depth=args.max_depth),
     )
     if not findings:
         print("no findings")
@@ -353,6 +402,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print()
     print(f"{len(findings)} finding(s)")
     return 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.static import Severity, analyze_program
+
+    gate = Severity.parse(args.max_severity)
+    payloads = []
+    failed = False
+    for path in args.files:
+        program = _load(path)
+        report = analyze_program(program)
+        gating = report.gating(gate)
+        if gating:
+            failed = True
+        if args.json:
+            payload = report.to_dict()
+            payload["file"] = path
+            payload["gating"] = len(gating)
+            payloads.append(payload)
+        else:
+            print(f"{path}:")
+            print(report.render())
+            if gating:
+                print(
+                    f"  FAIL: {len(gating)} diagnostic(s) above "
+                    f"--max-severity={args.max_severity}"
+                )
+    if args.json:
+        print(json.dumps(payloads, indent=2, sort_keys=True))
+    _print_metrics(args)
+    return 1 if failed else 0
 
 
 def _cmd_repl(args: argparse.Namespace) -> int:  # pragma: no cover - interactive
@@ -368,6 +448,7 @@ _COMMANDS = {
     "why": _cmd_why,
     "stats": _cmd_stats,
     "lint": _cmd_lint,
+    "check": _cmd_check,
     "profile": _cmd_profile,
     "repl": _cmd_repl,
 }

@@ -29,7 +29,13 @@ from .interpretation import Interpretation, TruthValue
 from .models import ModelChecker
 from .solver import ModelEnumerator, SearchBudget
 from .statuses import ComponentOrder, StatusEvaluator, StatusReport
-from .transform import DEFAULT_STRATEGY, OrderedTransform, validate_strategy
+from .transform import (
+    AUTO_STRATEGY,
+    CLASSICAL_STRATEGY,
+    OrderedTransform,
+    engine_strategy,
+    validate_semantics_strategy,
+)
 
 __all__ = ["OrderedSemantics"]
 
@@ -42,9 +48,14 @@ class OrderedSemantics:
         component: the component ``C`` whose point of view is taken.
         grounding: grounder options (depth bounds etc.).
         budget: search budget for the enumeration methods.
-        strategy: fixpoint evaluation strategy — ``"seminaive"``
-            (default, delta-driven) or ``"naive"`` (full rescans; the
-            differential-testing oracle).  See ``docs/evaluation.md``.
+        strategy: fixpoint evaluation strategy — ``"auto"`` (default:
+            route single-component stratified seminegative views to the
+            classical stratified backend, otherwise run the semi-naive
+            engine), ``"classical"`` (require routing; raises
+            :class:`SemanticsError` on ineligible views), or the engine
+            escape hatches ``"seminaive"`` / ``"naive"`` which disable
+            routing entirely.  See ``docs/analysis.md`` and
+            ``docs/evaluation.md``.
     """
 
     def __init__(
@@ -53,7 +64,7 @@ class OrderedSemantics:
         component: str,
         grounding: GroundingOptions = GroundingOptions(),
         budget: SearchBudget = SearchBudget(),
-        strategy: str = DEFAULT_STRATEGY,
+        strategy: str = AUTO_STRATEGY,
     ) -> None:
         if component not in program:
             raise SemanticsError(f"no component named {component!r}")
@@ -61,7 +72,8 @@ class OrderedSemantics:
         self.component = component
         self._grounding_options = grounding
         self._budget = budget
-        self.strategy = validate_strategy(strategy)
+        self.strategy = validate_semantics_strategy(strategy)
+        self._engine_strategy = engine_strategy(self.strategy)
 
     # ------------------------------------------------------------------
     # Grounding and shared machinery (built lazily, cached)
@@ -80,7 +92,7 @@ class OrderedSemantics:
     @cached_property
     def transform(self) -> OrderedTransform:
         return OrderedTransform(
-            self.evaluator, self.ground.base, strategy=self.strategy
+            self.evaluator, self.ground.base, strategy=self._engine_strategy
         )
 
     @cached_property
@@ -94,7 +106,10 @@ class OrderedSemantics:
     @cached_property
     def enumerator(self) -> ModelEnumerator:
         return ModelEnumerator(
-            self.evaluator, self.ground.base, self._budget, strategy=self.strategy
+            self.evaluator,
+            self.ground.base,
+            self._budget,
+            strategy=self._engine_strategy,
         )
 
     # ------------------------------------------------------------------
@@ -115,14 +130,69 @@ class OrderedSemantics:
         return parse_literal(literal)
 
     # ------------------------------------------------------------------
+    # Stratification routing (docs/analysis.md)
+    # ------------------------------------------------------------------
+    @cached_property
+    def routing(self):
+        """The :class:`~repro.analysis.static.ViewClassification` that
+        justifies routing this view to the classical stratified backend,
+        or None when the least model runs on the ordered engine.
+
+        Raises:
+            SemanticsError: under ``strategy="classical"`` when the view
+                is not eligible.
+        """
+        if self.strategy not in (AUTO_STRATEGY, CLASSICAL_STRATEGY):
+            return None
+        from ..analysis.static import classify_view
+
+        info = classify_view(self.program, self.component)
+        if info.routable:
+            return info
+        if self.strategy == CLASSICAL_STRATEGY:
+            raise SemanticsError(
+                f"component {self.component!r} cannot be routed to the "
+                f"classical stratified backend: {info.ineligibility}"
+            )
+        return None
+
+    def _routed_least_model(self) -> Interpretation:
+        """Least model of a routable view via the classical stratified
+        backend.  Sound because a single-component seminegative view has
+        no contradictions (hence no overruling/defeating) and negative
+        body literals are never derivable, so ``V_{P,C}`` degenerates to
+        the stratified Horn consequence operator."""
+        from ..classical.stratified import stratified_least_model
+
+        rules = tuple(
+            r
+            for comp in self.program.visible_components(self.component)
+            for r in comp.rules
+        )
+        atoms = stratified_least_model(rules, self.ground.rules)
+        return Interpretation(
+            tuple(Literal(a, True) for a in atoms), self.ground.base
+        )
+
+    # ------------------------------------------------------------------
     # The least model and entailment
     # ------------------------------------------------------------------
     @cached_property
     def least_model(self) -> Interpretation:
-        """``V↑ω(∅)`` — the least (assumption-free) model; Theorem 1(b)."""
-        with get_instrumentation().span(
-            "semantics.least_model", component=self.component
+        """``V↑ω(∅)`` — the least (assumption-free) model; Theorem 1(b).
+
+        Computed by the classical stratified backend when the view is
+        routable (see :attr:`routing`), by the configured fixpoint
+        engine otherwise.
+        """
+        obs = get_instrumentation()
+        routed = self.routing is not None
+        with obs.span(
+            "semantics.least_model", component=self.component, routed=routed
         ):
+            if routed:
+                obs.count("semantics.route.stratified")
+                return self._routed_least_model()
             return self.transform.least_fixpoint()
 
     def value(self, literal: Union[Literal, str]) -> TruthValue:

@@ -39,13 +39,35 @@ from .incremental import SemiNaiveFixpoint
 from .interpretation import Interpretation
 from .statuses import StatusEvaluator
 
-__all__ = ["OrderedTransform", "STRATEGIES", "DEFAULT_STRATEGY"]
+__all__ = [
+    "OrderedTransform",
+    "STRATEGIES",
+    "DEFAULT_STRATEGY",
+    "AUTO_STRATEGY",
+    "CLASSICAL_STRATEGY",
+    "SEMANTICS_STRATEGIES",
+    "engine_strategy",
+]
 
-#: Recognised fixpoint evaluation strategies.
+#: Recognised fixpoint *engine* strategies (how ``V↑ω`` is iterated).
 STRATEGIES = ("naive", "seminaive")
 
-#: Strategy used when none is requested explicitly.
+#: Engine strategy used when none is requested explicitly.
 DEFAULT_STRATEGY = "seminaive"
+
+#: Semantics-level strategy: route single-component stratified views to
+#: the classical backend when eligible, else fall back to the default
+#: engine.  See ``repro.analysis.static.classify_view``.
+AUTO_STRATEGY = "auto"
+
+#: Semantics-level strategy: *require* classical routing (raises when
+#: the view is not eligible).  The differential-testing counterpart of
+#: ``"auto"``.
+CLASSICAL_STRATEGY = "classical"
+
+#: Everything ``OrderedSemantics(strategy=...)`` accepts.  The engine
+#: strategies double as escape hatches that disable routing.
+SEMANTICS_STRATEGIES = (AUTO_STRATEGY, CLASSICAL_STRATEGY, *STRATEGIES)
 
 
 def validate_strategy(strategy: str) -> str:
@@ -54,6 +76,26 @@ def validate_strategy(strategy: str) -> str:
             f"unknown fixpoint strategy {strategy!r}; "
             f"expected one of {', '.join(STRATEGIES)}"
         )
+    return strategy
+
+
+def validate_semantics_strategy(strategy: str) -> str:
+    if strategy not in SEMANTICS_STRATEGIES:
+        raise ValueError(
+            f"unknown fixpoint strategy {strategy!r}; "
+            f"expected one of {', '.join(SEMANTICS_STRATEGIES)}"
+        )
+    return strategy
+
+
+def engine_strategy(strategy: str) -> str:
+    """The engine strategy backing a semantics-level strategy: the
+    routing strategies fall back to the default engine for everything
+    the classical backend does not cover (model enumeration, statuses,
+    non-routable views)."""
+    validate_semantics_strategy(strategy)
+    if strategy in (AUTO_STRATEGY, CLASSICAL_STRATEGY):
+        return DEFAULT_STRATEGY
     return strategy
 
 

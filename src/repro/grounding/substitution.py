@@ -183,7 +183,7 @@ def _match_term(
         if pattern.functor != target.functor or pattern.arity != target.arity:
             return False
         return all(
-            _match_term(p, t, bindings) for p, t in zip(pattern.args, target.args)
+            _match_term(p, t, bindings) for p, t in zip(pattern.args, target.args, strict=True)
         )
     raise TypeError(f"not a term: {pattern!r}")
 
@@ -210,7 +210,7 @@ def match_atom(
     if pattern.signature != target.signature:
         return None
     bindings = seed.as_dict() if seed else {}
-    for p, t in zip(pattern.args, target.args):
+    for p, t in zip(pattern.args, target.args, strict=True):
         if not _match_term(p, t, bindings):
             return None
     return Substitution(bindings)
@@ -253,7 +253,7 @@ def _unify_terms(a: Term, b: Term, bindings: dict[Variable, Term]) -> bool:
     if isinstance(a, Compound) and isinstance(b, Compound):
         if a.functor != b.functor or a.arity != b.arity:
             return False
-        return all(_unify_terms(x, y, bindings) for x, y in zip(a.args, b.args))
+        return all(_unify_terms(x, y, bindings) for x, y in zip(a.args, b.args, strict=True))
     return False
 
 
@@ -277,7 +277,7 @@ def unify_atoms(a: Atom, b: Atom) -> Optional[Substitution]:
     if a.signature != b.signature:
         return None
     bindings: dict[Variable, Term] = {}
-    for x, y in zip(a.args, b.args):
+    for x, y in zip(a.args, b.args, strict=True):
         if not _unify_terms(x, y, bindings):
             return None
     return Substitution({v: _resolve(t, bindings) for v, t in bindings.items()})

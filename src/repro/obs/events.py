@@ -158,7 +158,8 @@ class JsonLinesSink(Sink):
 
     def emit(self, event: Event) -> None:
         if self._stream is None:
-            self._stream = open(self._path, "a", encoding="utf-8")
+            # The sink owns the handle; close() manages its lifetime.
+            self._stream = open(self._path, "a", encoding="utf-8")  # noqa: SIM115
         self._stream.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
 
     def close(self) -> None:

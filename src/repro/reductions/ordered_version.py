@@ -20,7 +20,7 @@ from typing import Iterable, Sequence
 
 from ..core.semantics import OrderedSemantics
 from ..core.solver import SearchBudget
-from ..core.transform import DEFAULT_STRATEGY
+from ..core.transform import AUTO_STRATEGY
 from ..grounding.grounder import GroundingOptions
 from ..lang.literals import Atom, Literal
 from ..lang.program import Component, OrderedProgram
@@ -65,13 +65,13 @@ class ReducedProgram:
         self,
         grounding: GroundingOptions = GroundingOptions(),
         budget: SearchBudget = SearchBudget(),
-        strategy: str = DEFAULT_STRATEGY,
+        strategy: str = AUTO_STRATEGY,
     ) -> OrderedSemantics:
         """An :class:`OrderedSemantics` view at the designated component.
 
-        The ``strategy`` is forwarded to the fixpoint engine, so the
-        OV/EV/3V reductions inherit semi-naive evaluation (and its
-        shared rule index) by default.
+        The ``strategy`` is forwarded to the semantics, so the OV/EV/3V
+        reductions inherit stratification routing plus semi-naive
+        evaluation (and its shared rule index) by default.
         """
         return OrderedSemantics(
             self.program,

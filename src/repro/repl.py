@@ -160,7 +160,7 @@ class ReplSession:
             return "usage: order A < B [< C ...]"
         for name in parts:
             self._rules.setdefault(name, [])
-        for low, high in zip(parts, parts[1:]):
+        for low, high in zip(parts, parts[1:], strict=False):
             self._pairs.add((low, high))
         self.program()  # validates acyclicity
         self._invalidate()

@@ -2,7 +2,7 @@
 
 from repro.analysis.conflicts import ConflictKind, conflict_summary, find_conflicts
 from repro.core.semantics import OrderedSemantics
-from repro.workloads.paper import figure1, figure1_flat, figure2
+from repro.workloads.paper import figure1, figure1_flat, figure2, figure3
 
 
 class TestFigure1:
@@ -53,3 +53,30 @@ class TestFlattenedAndDefeats:
     def test_no_conflicts_in_upper_component(self):
         sem = OrderedSemantics(figure2(), "c2")
         assert conflict_summary(sem) == {"overrule": 0, "defeat": 0}
+
+
+class TestFigure3Scenarios:
+    def summary(self, facts):
+        return conflict_summary(OrderedSemantics(figure3(facts), "c1"))
+
+    def test_no_facts_no_conflicts(self):
+        assert self.summary(()) == {"overrule": 0, "defeat": 0}
+
+    def test_inflation_alone_no_conflicts(self):
+        # Only Expert2 fires; nobody derives -take_loan.
+        assert self.summary(("inflation(12).",)) == {
+            "overrule": 0,
+            "defeat": 0,
+        }
+
+    def test_conflict_scenario(self):
+        # Expert2 says take_loan, Expert4 objects; Expert3's stronger
+        # condition (12 > 16 + 2) does not fire, so c3 cannot overrule.
+        summary = self.summary(("inflation(12).", "loan_rate(16)."))
+        assert summary == {"overrule": 7, "defeat": 3}
+
+    def test_overrule_scenario(self):
+        # With inflation 19, Expert3's rule fires below Expert4 and
+        # overrules the objection.
+        summary = self.summary(("inflation(19).", "loan_rate(16)."))
+        assert summary == {"overrule": 18, "defeat": 6}

@@ -29,6 +29,24 @@ class TestLayers:
         layers = hasse_layers(PartialOrder(["a", "b", "c"]))
         assert layers == [["a", "b", "c"]]
 
+    def test_disconnected_chains(self):
+        po = PartialOrder(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        # Two unrelated chains share layers by height, not component.
+        assert hasse_layers(po) == [["b", "d"], ["a", "c"]]
+
+    def test_disconnected_mixed_heights(self):
+        po = PartialOrder(
+            ["a", "b", "c", "x"], [("a", "b"), ("b", "c")]
+        )
+        layers = hasse_layers(po)
+        assert layers[0] == ["c", "x"]
+        assert layers[1] == ["b"]
+        assert layers[2] == ["a"]
+
+    def test_single_chain(self):
+        po = PartialOrder(pairs=[("c", "b"), ("b", "a")])
+        assert hasse_layers(po) == [["a"], ["b"], ["c"]]
+
 
 class TestRendering:
     def test_edges_rendered(self):
@@ -47,3 +65,17 @@ class TestRendering:
 
     def test_deterministic(self):
         assert render_hasse(diamond(1)) == render_hasse(diamond(1))
+
+    def test_disconnected_poset_renders_all_nodes(self):
+        po = PartialOrder(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        text = render_hasse(po)
+        for node in "abcd":
+            assert f"[{node}]" in text
+        assert "a --> b" in text and "c --> d" in text
+        assert "b --> c" not in text
+
+    def test_single_chain_renders_in_order(self):
+        po = PartialOrder(pairs=[("c", "b"), ("b", "a")])
+        text = render_hasse(po)
+        assert "c --> b" in text and "b --> a" in text
+        assert "c --> a" not in text

@@ -114,8 +114,65 @@ class TestKnownPrograms:
         assert any(f.kind == "permanently-defeated" for f in findings)
 
 
+MULTI_WITNESS = """
+component general {
+    fly(X) :- bird(X).
+    bird(opus).
+}
+component injured {
+    -fly(X) :- sick(X).
+    sick(opus).
+}
+component penguins {
+    -fly(X) :- penguin(X).
+    penguin(opus).
+}
+order injured < general.
+order penguins < general.
+"""
+
+
+class TestWitnessDeduplication:
+    def test_one_finding_per_suppressed_rule(self):
+        # The same fly-rule is suppressed in two sibling views, each by
+        # a different witness; aggregation must keep one finding and
+        # count the extra witness instead of duplicating.
+        program = parse_program(MULTI_WITNESS)
+        findings = lint_program(program)
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.kind == "permanently-overruled"
+        assert finding.extra_witnesses == 1
+        assert "+1 more witness(es)" in str(finding)
+
+    def test_unaggregated_keeps_every_witness(self):
+        program = parse_program(MULTI_WITNESS)
+        full = lint_program(program, aggregate=False)
+        assert len(full) == 2
+        assert all(f.extra_witnesses == 0 for f in full)
+
+    def test_single_witness_has_no_suffix(self):
+        program = parse_program(BROKEN_TAXONOMY)
+        for finding in lint_program(program):
+            assert finding.extra_witnesses == 0
+            assert "more witness" not in str(finding)
+
+
 class TestComponentScope:
     def test_upper_component_unaffected(self):
         program = parse_program(BROKEN_TAXONOMY)
         sem = OrderedSemantics(program, "general")
         assert list(lint_component(sem)) == []
+
+    def test_component_filter_limits_the_views(self):
+        program = parse_program(MULTI_WITNESS)
+        findings = lint_program(program, component="injured")
+        assert len(findings) == 1
+        (finding,) = findings
+        # Only the injured view was linted: one witness, no suffix.
+        assert finding.extra_witnesses == 0
+        assert finding.witness.component == "injured"
+
+    def test_component_filter_on_clean_view(self):
+        program = parse_program(MULTI_WITNESS)
+        assert lint_program(program, component="general") == []

@@ -90,7 +90,7 @@ class TestLeastFixpoint:
 class TestMonotonicityRandomized:
     def test_v_is_monotone_on_random_programs(self):
         rng = random.Random(20260706)
-        for trial in range(25):
+        for _trial in range(25):
             program = random_ordered_program(rng, n_atoms=4, n_rules=7)
             name = sorted(program.component_names)[0]
             sem = OrderedSemantics(program, name)
@@ -105,7 +105,7 @@ class TestMonotonicityRandomized:
 
     def test_fixpoint_always_reached(self):
         rng = random.Random(7)
-        for trial in range(25):
+        for _trial in range(25):
             program = random_ordered_program(rng, n_atoms=5, n_rules=9)
             for name in program.component_names:
                 sem = OrderedSemantics(program, name)

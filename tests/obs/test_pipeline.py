@@ -15,7 +15,7 @@ class TestSemanticsPipeline:
     def test_grounding_and_fixpoint_counters(self):
         with instrumented() as obs:
             sem = OrderedSemantics(figure1(), "c1")
-            sem.least_model
+            _ = sem.least_model
             counters = obs.snapshot()["counters"]
         assert counters["ground.source_rules"] == 6
         assert counters["ground.instances_kept"] == 9
@@ -26,7 +26,7 @@ class TestSemanticsPipeline:
 
     def test_spans_nest_under_caller(self):
         with instrumented() as obs:
-            OrderedSemantics(figure1(), "c1").least_model
+            _ = OrderedSemantics(figure1(), "c1").least_model
             spans = obs.snapshot()["spans"]
         assert "semantics.least_model" in spans
         assert "semantics.least_model.ground" in spans
@@ -42,7 +42,7 @@ class TestSemanticsPipeline:
     def test_events_stream_through_sinks(self):
         ring = RingBufferSink()
         with instrumented(ring):
-            OrderedSemantics(figure1(), "c1").least_model
+            _ = OrderedSemantics(figure1(), "c1").least_model
         names = {e.name for e in ring}
         assert "ground.done" in names
         assert "fixpoint.converged" in names
@@ -54,7 +54,7 @@ class TestSemanticsPipeline:
         obs = get_instrumentation()
         assert not obs.enabled
         obs.reset()
-        OrderedSemantics(figure1(), "c1").least_model
+        _ = OrderedSemantics(figure1(), "c1").least_model
         snap = obs.snapshot()
         assert snap["counters"] == {}
         assert snap["spans"] == {}

@@ -107,7 +107,7 @@ def test_workload_generators_agree(program):
 def test_random_program_sweep_agrees():
     rng = random.Random(0x5EED)
     checked = 0
-    for trial in range(N_RANDOM_PROGRAMS):
+    for _trial in range(N_RANDOM_PROGRAMS):
         program = random_ordered_program(
             rng,
             n_atoms=rng.randint(2, 6),

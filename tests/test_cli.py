@@ -1,10 +1,16 @@
 """Unit tests for the ``olp`` command-line interface."""
 
+import pathlib
+
 import pytest
 
 from repro.cli import main
 from repro.lang.printer import render_program
 from repro.workloads.paper import figure1, figure2
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[1] / "examples").glob("*.olp")
+)
 
 
 @pytest.fixture
@@ -123,6 +129,110 @@ class TestLint:
         out = capsys.readouterr().out
         assert "permanently overruled" in out
         assert "finding(s)" in out
+
+
+class TestCheck:
+    def test_clean_file_passes(self, figure1_file, capsys):
+        assert main(["check", figure1_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 warning(s)" in out
+        assert "FAIL" not in out
+
+    def test_warnings_fail_the_default_gate(self, tmp_path, capsys):
+        path = tmp_path / "unsafe.olp"
+        path.write_text("component c { p(X). }")
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "unsafe-rule" in out
+        assert "FAIL" in out and "--max-severity=info" in out
+
+    def test_raising_the_gate_passes_warnings(self, tmp_path, capsys):
+        path = tmp_path / "unsafe.olp"
+        path.write_text("component c { p(X). }")
+        assert main(["check", str(path), "--max-severity", "warning"]) == 0
+
+    def test_multiple_files_any_failure_fails(self, figure1_file, tmp_path):
+        bad = tmp_path / "unsafe.olp"
+        bad.write_text("component c { p(X). }")
+        assert main(["check", figure1_file, str(bad)]) == 1
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.olp"]) == 2
+
+    def test_json_payload(self, figure2_file, capsys):
+        import json
+
+        assert main(["check", figure2_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload
+        assert entry["file"] == figure2_file
+        assert entry["gating"] == 0
+        assert entry["counts"]["by_code"]["potential-defeat"] == 2
+        assert entry["views"]["c1"]["classification"] == "unstratified"
+
+    def test_json_gating_count(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "unsafe.olp"
+        path.write_text("component c { p(X). }")
+        assert main(["check", str(path), "--json"]) == 1
+        (entry,) = json.loads(capsys.readouterr().out)
+        assert entry["gating"] == 1
+
+    def test_metrics_report(self, figure2_file, capsys):
+        assert main(["check", figure2_file, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "check.diagnostics" in out
+
+
+class TestExamplesSmoke:
+    """Every shipped example must parse and pass every read-only
+    subcommand (the CI analysis job runs ``check`` over the same set)."""
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_check_passes(self, path, capsys):
+        assert main(["check", str(path)]) == 0
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_stats_run(self, path, capsys):
+        assert main(["stats", str(path)]) == 0
+        assert "components" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_lint_reports_or_passes(self, path, capsys):
+        # lint may legitimately flag the loan example; it must not crash.
+        assert main(["lint", str(path)]) in (0, 1)
+
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert {"figure1.olp", "figure2.olp", "figure3.olp"} <= names
+
+
+class TestStrategyFlag:
+    def test_run_with_explicit_engine(self, figure1_file, capsys):
+        assert main(
+            ["run", figure1_file, "-c", "c1", "--strategy", "naive"]
+        ) == 0
+        assert "fly(pigeon)" in capsys.readouterr().out
+
+    def test_run_with_classical_on_ineligible_view_errors(
+        self, figure1_file, capsys
+    ):
+        assert main(
+            ["run", figure1_file, "-c", "c1", "--strategy", "classical"]
+        ) == 2
+        assert "cannot be routed" in capsys.readouterr().err
+
+    def test_run_with_classical_on_eligible_view(self, tmp_path, capsys):
+        path = tmp_path / "horn.olp"
+        path.write_text("component c { a. b :- a. }")
+        assert main(["run", str(path), "--strategy", "classical"]) == 0
+        assert "b" in capsys.readouterr().out
+
+    def test_unknown_strategy_rejected(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["run", figure1_file, "--strategy", "bogus"])
 
 
 class TestMetrics:

@@ -162,4 +162,4 @@ class TestRandomGenerators:
         assert len(program) == 3
         # Semantics is computable from every component.
         for name in program.component_names:
-            OrderedSemantics(program, name).least_model
+            _ = OrderedSemantics(program, name).least_model
