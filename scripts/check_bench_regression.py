@@ -13,8 +13,12 @@ path that regressed stands out against its peers.  A benchmark fails
 when its normalized ratio exceeds the gate (default 1.5x, override
 with BENCH_GATE).
 
-Benchmarks present on only one side are reported but never fail the
-gate (new benchmarks must be able to land).
+Benchmarks present only in the new payload are reported but never fail
+the gate (new benchmarks must be able to land).  A baseline benchmark
+*missing* from the fresh payload fails the gate by name — a silently
+dropped benchmark is a coverage regression, not a freebie.  Set
+BENCH_ALLOW_MISSING=1 when removing a benchmark intentionally (and
+refresh the committed baseline in the same change).
 """
 
 from __future__ import annotations
@@ -24,12 +28,24 @@ import os
 import sys
 
 GATE = float(os.environ.get("BENCH_GATE", "1.5"))
+ALLOW_MISSING = os.environ.get("BENCH_ALLOW_MISSING", "") == "1"
 
 
 def load_means(path: str) -> dict[str, float]:
     with open(path) as handle:
         payload = json.load(handle)
-    return {b["name"]: b["stats"]["mean"] for b in payload["benchmarks"]}
+    means: dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("name")
+        stats = bench.get("stats") or {}
+        if name is None or "mean" not in stats:
+            print(
+                f"{path}: entry {name or '<unnamed>'} has no stats.mean; "
+                "was the payload produced by pytest-benchmark?"
+            )
+            continue
+        means[name] = stats["mean"]
+    return means
 
 
 def median(values: list[float]) -> float:
@@ -50,11 +66,24 @@ def main(argv: list[str]) -> int:
     shared = sorted(set(new) & set(baseline))
     only_new = sorted(set(new) - set(baseline))
     only_old = sorted(set(baseline) - set(new))
+    failures = 0
     for name in only_new:
         print(f"new benchmark (not gated): {name}")
     for name in only_old:
-        print(f"baseline benchmark disappeared (not gated): {name}")
+        if ALLOW_MISSING:
+            print(f"baseline benchmark missing from fresh payload (allowed): {name}")
+        else:
+            failures += 1
+            print(
+                f"FAIL: baseline benchmark {name!r} is missing from the "
+                "fresh payload — it was removed or renamed without "
+                "refreshing the baseline (set BENCH_ALLOW_MISSING=1 for an "
+                "intentional removal)"
+            )
     if not shared:
+        if failures:
+            print(f"{failures} baseline benchmark(s) missing; nothing else to gate")
+            return 1
         print("no shared benchmarks between payloads; nothing to gate")
         return 0
 
@@ -63,7 +92,6 @@ def main(argv: list[str]) -> int:
     print(
         f"machine-speed normalization: median new/baseline ratio = {scale:.3f}"
     )
-    failures = 0
     for name in shared:
         normalized = ratios[name] / scale
         flag = ""
@@ -75,7 +103,7 @@ def main(argv: list[str]) -> int:
             f"new={new[name] * 1e3:.3f}ms normalized={normalized:.2f}x{flag}"
         )
     if failures:
-        print(f"{failures} benchmark(s) regressed beyond the {GATE}x gate")
+        print(f"{failures} benchmark(s) failed the {GATE}x gate")
         return 1
     print(f"all {len(shared)} shared benchmarks within the {GATE}x gate")
     return 0

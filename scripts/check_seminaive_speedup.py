@@ -1,64 +1,90 @@
 #!/usr/bin/env python
-"""Gate: the semi-naive strategy must beat naive by >= MIN_SPEEDUP at
-the largest fixpoint-depth benchmark size.
+"""Gate: a contender strategy must beat a baseline strategy by at least
+MIN_SPEEDUP at the largest benchmark size of one experiment.
 
-Usage: python scripts/check_seminaive_speedup.py BENCH_pr2.json
+Usage:
+    python scripts/check_seminaive_speedup.py BENCH.json
+    python scripts/check_seminaive_speedup.py BENCH.json \\
+        --experiment maintenance-session --baseline rebuild \\
+        --contender delta --size-key size --min-speedup 5
 
-Reads a pytest-benchmark JSON payload, pairs naive/seminaive runs of
-the ``fixpoint-depth`` experiment by depth, and fails (exit 1) unless
-the ratio naive/seminaive at the largest depth clears the bar.  The bar
-is deliberately far below the measured ~20-70x so that only a real
-regression of the incremental engine trips it.
+Reads a pytest-benchmark JSON payload, pairs baseline/contender runs of
+the selected experiment by the size key in ``extra_info``, and fails
+(exit 1) unless the ratio baseline/contender at the largest size clears
+the bar.  Defaults reproduce the original semi-naive gate: experiment
+``fixpoint-depth``, strategies ``naive`` vs ``seminaive``, size key
+``depth``, bar from ``SEMINAIVE_MIN_SPEEDUP`` (2.0).  The bars are
+deliberately far below the measured ratios so that only a real
+regression of the incremental machinery trips them.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
 
-MIN_SPEEDUP = float(os.environ.get("SEMINAIVE_MIN_SPEEDUP", "2.0"))
-
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(__doc__)
-        return 2
-    with open(argv[1]) as handle:
+    parser = argparse.ArgumentParser(
+        description="pairwise strategy speedup gate over a benchmark payload"
+    )
+    parser.add_argument("payload", help="pytest-benchmark JSON file")
+    parser.add_argument("--experiment", default="fixpoint-depth")
+    parser.add_argument("--baseline", default="naive")
+    parser.add_argument("--contender", default="seminaive")
+    parser.add_argument(
+        "--size-key",
+        default="depth",
+        help="extra_info key that orders the benchmark sizes",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=float(os.environ.get("SEMINAIVE_MIN_SPEEDUP", "2.0")),
+        help="required baseline/contender ratio at the largest size",
+    )
+    args = parser.parse_args(argv[1:])
+
+    with open(args.payload) as handle:
         payload = json.load(handle)
 
-    by_depth: dict[int, dict[str, float]] = {}
+    by_size: dict[int, dict[str, float]] = {}
     for bench in payload["benchmarks"]:
         info = bench.get("extra_info", {})
-        if info.get("experiment") != "fixpoint-depth":
+        if info.get("experiment") != args.experiment:
             continue
-        depth = int(info["depth"])
+        size = int(info[args.size_key])
         strategy = info["strategy"]
-        by_depth.setdefault(depth, {})[strategy] = bench["stats"]["mean"]
+        by_size.setdefault(size, {})[strategy] = bench["stats"]["mean"]
 
-    if not by_depth:
-        print("no fixpoint-depth benchmarks found in payload")
+    if not by_size:
+        print(f"no {args.experiment!r} benchmarks found in payload")
         return 1
 
     failures = 0
-    largest = max(by_depth)
-    for depth in sorted(by_depth):
-        times = by_depth[depth]
-        if "naive" not in times or "seminaive" not in times:
-            print(f"depth={depth}: missing a strategy ({sorted(times)})")
+    largest = max(by_size)
+    for size in sorted(by_size):
+        times = by_size[size]
+        if args.baseline not in times or args.contender not in times:
+            print(
+                f"{args.size_key}={size}: missing a strategy "
+                f"({sorted(times)})"
+            )
             failures += 1
             continue
-        speedup = times["naive"] / times["seminaive"]
-        required = MIN_SPEEDUP if depth == largest else None
+        speedup = times[args.baseline] / times[args.contender]
         verdict = ""
-        if required is not None:
-            ok = speedup >= required
-            verdict = f" [gate >= {required}x: {'ok' if ok else 'FAIL'}]"
+        if size == largest:
+            ok = speedup >= args.min_speedup
+            verdict = f" [gate >= {args.min_speedup}x: {'ok' if ok else 'FAIL'}]"
             if not ok:
                 failures += 1
         print(
-            f"depth={depth}: naive={times['naive'] * 1e3:.3f}ms "
-            f"seminaive={times['seminaive'] * 1e3:.3f}ms "
+            f"{args.size_key}={size}: "
+            f"{args.baseline}={times[args.baseline] * 1e3:.3f}ms "
+            f"{args.contender}={times[args.contender] * 1e3:.3f}ms "
             f"speedup={speedup:.1f}x{verdict}"
         )
     return 1 if failures else 0

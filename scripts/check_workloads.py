@@ -28,7 +28,7 @@ import sys
 
 from repro.analysis.static import Severity, analyze_program
 from repro.reductions import ordered_version, three_level_version
-from repro.workloads import experts, hierarchies, paper
+from repro.workloads import experts, hierarchies, paper, sessions
 
 
 def workloads():
@@ -62,6 +62,7 @@ def workloads():
     yield "hierarchies.release_chain(3)", hierarchies.release_chain(3)
     yield "experts.expert_panel(3,3)", experts.expert_panel(3, 3)
     yield "experts.contradicting_panel(3)", experts.contradicting_panel(3)
+    yield "sessions.interactive_session(4,6)", sessions.interactive_session(4, 6)
 
 
 def main() -> int:

@@ -4,6 +4,7 @@
 * :mod:`repro.core.statuses` — Definition 2 rule statuses.
 * :mod:`repro.core.transform` — the ``V_{P,C}`` transformation.
 * :mod:`repro.core.incremental` — semi-naive delta-driven fixpoints.
+* :mod:`repro.core.maintenance` — assert/retract model maintenance.
 * :mod:`repro.core.models` — Definition 3 model checking.
 * :mod:`repro.core.assumptions` — assumption sets, enabled version.
 * :mod:`repro.core.solver` — model / AF / stable enumeration.
@@ -13,6 +14,12 @@
 from .assumptions import AssumptionAnalyzer, literal_closure
 from .incremental import RuleIndex, SemiNaiveFixpoint
 from .interpretation import Interpretation, TruthValue
+from .maintenance import (
+    DeltaStats,
+    DeltaUnsupported,
+    MaintainedModel,
+    MaintenanceConfig,
+)
 from .models import ModelChecker
 from .semantics import OrderedSemantics
 from .solver import ModelEnumerator, SearchBudget
@@ -28,6 +35,10 @@ __all__ = [
     "OrderedTransform",
     "RuleIndex",
     "SemiNaiveFixpoint",
+    "MaintainedModel",
+    "MaintenanceConfig",
+    "DeltaStats",
+    "DeltaUnsupported",
     "STRATEGIES",
     "DEFAULT_STRATEGY",
     "ModelChecker",

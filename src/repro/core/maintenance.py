@@ -1,0 +1,609 @@
+"""Incremental knowledge-base maintenance: assert/retract deltas.
+
+The KB shell of Section 5 treats an ordered program as a long-lived
+artifact that is *queried and updated* repeatedly.  Recomputing
+``V↑ω(∅)`` from scratch after every ``tell``/``retract`` throws away
+almost all of the previous model: a single fact assertion typically
+touches a handful of rules out of thousands.  This module maintains an
+already-computed least model under ground-fact assertion and
+retraction, in the delete-rederive (DRed) style of incremental Datalog
+view maintenance, adapted to the ordered statuses of Definition 2.
+
+The moving parts beyond classical DRed:
+
+* an **asserted** fact is a new ground rule.  It can *overrule* or
+  *defeat* existing rules with the complementary head (a fact in a more
+  specific component silently un-derives the general default), so the
+  assertion path must un-fire the newly threatened rules and
+  delete-rederive their consequences — assertion is **not** monotone in
+  ordered programs;
+* a **retracted** fact can *un-overrule* or *un-defeat* rules in
+  higher or incomparable components (removing the live threat releases
+  them), and deleting a literal can *un-block* a rule, which turns it
+  back into a live threat against rules in yet other components.  The
+  deletion cascade therefore propagates along three edge kinds of the
+  watch-list index — body support, blocking, and contradiction — and
+  re-evaluates status for exactly the rules whose blockers or
+  contradictors changed.
+
+The maintained state is the same counter representation as
+:class:`~repro.core.incremental.SemiNaiveFixpoint` (satisfied
+counters, blocked flags, live overruler/defeater counters, fired
+flags), made mutable and kept alive across mutations.  Soundness of
+rederive-from-survivors: the overcounting cascade deletes a superset
+of the literals that left the model, so the surviving interpretation
+``S`` is contained in the new least fixpoint; ``V`` is monotone along
+the chain from ``S`` (Lemma 1), so resuming the semi-naive iteration
+from ``S`` converges to exactly ``V↑ω(∅)`` of the mutated program.
+The differential property suite
+(``tests/properties/test_maintenance_differential.py``) enforces
+bit-identical agreement with from-scratch recomputation.
+
+When a mutation dirties more of the program than the configured
+*status frontier* allows (:attr:`MaintenanceConfig.frontier_threshold`),
+the engine abandons the cascade and rebuilds the model from the empty
+interpretation over the current rule multiset — still without
+re-grounding anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from ..grounding.grounder import GroundRule
+from ..lang.errors import InconsistencyError, SemanticsError
+from ..lang.literals import Atom, Literal
+from ..obs import get_instrumentation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .interpretation import Interpretation
+    from .statuses import StatusEvaluator
+
+__all__ = [
+    "MaintenanceConfig",
+    "DeltaStats",
+    "DeltaOp",
+    "DeltaUnsupported",
+    "MaintainedModel",
+    "ASSERT",
+    "RETRACT",
+]
+
+#: Op kinds understood by :meth:`MaintainedModel.apply`.
+ASSERT = "assert"
+RETRACT = "retract"
+
+#: One mutation: ``(kind, component, ground fact literal)``.
+DeltaOp = tuple[str, str, Literal]
+
+
+class DeltaUnsupported(SemanticsError):
+    """The delta path cannot absorb this mutation (e.g. the asserted
+    atom lies outside the view's grounded Herbrand base, so new ground
+    instances of non-fact rules may exist).  Callers fall back to full
+    recomputation."""
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    """Knobs for the incremental maintenance engine.
+
+    Attributes:
+        enabled: when False, every mutation invalidates and the next
+            read recomputes from scratch (the pre-maintenance
+            behaviour; used as the benchmark baseline).
+        frontier_threshold: fraction of the (alive) ground rules that a
+            single delta's status frontier may touch before the engine
+            gives up on the cascade and rebuilds the model from ∅ over
+            the current rules.  1.0 effectively disables the fallback;
+            0.0 forces a rebuild on every delta.
+    """
+
+    enabled: bool = True
+    frontier_threshold: float = 0.5
+
+
+@dataclass
+class DeltaStats:
+    """What one :meth:`MaintainedModel.apply` call did.
+
+    Attributes:
+        asserted: facts added (after refcount dedup).
+        retracted: facts removed (after refcount dedup).
+        deleted: literals removed by the overcounting cascade.
+        rederived: literals (re)derived by the forward phase —
+            includes cascade survivors that were re-established.
+        rules_reevaluated: rule-status updates performed (the *status
+            frontier* of the delta).
+        full_rebuild: the delta exceeded the frontier threshold (or was
+            otherwise unsupported) and the model was recomputed from ∅.
+    """
+
+    asserted: int = 0
+    retracted: int = 0
+    deleted: int = 0
+    rederived: int = 0
+    rules_reevaluated: int = 0
+    full_rebuild: bool = False
+
+    def merge(self, other: "DeltaStats") -> "DeltaStats":
+        return DeltaStats(
+            self.asserted + other.asserted,
+            self.retracted + other.retracted,
+            self.deleted + other.deleted,
+            self.rederived + other.rederived,
+            self.rules_reevaluated + other.rules_reevaluated,
+            self.full_rebuild or other.full_rebuild,
+        )
+
+
+class _FrontierExceeded(Exception):
+    """Internal: the cascade dirtied more than the threshold allows."""
+
+
+@dataclass
+class _Pending:
+    """Work queued by the bookkeeping pass, consumed by the cascade."""
+
+    candidates: set[int] = field(default_factory=set)
+    to_delete: list[Literal] = field(default_factory=list)
+
+
+class MaintainedModel:
+    """A least model kept consistent under fact assertion/retraction.
+
+    Built from a :class:`~repro.core.statuses.StatusEvaluator` (whose
+    :class:`~repro.core.incremental.RuleIndex` provides the initial
+    watch lists) and immediately brought to ``V↑ω(∅)``.  Thereafter
+    :meth:`apply` absorbs batches of ground-fact deltas; reads go
+    through :meth:`interpretation`.
+
+    Rule ids are stable: retracting a fact marks its rule *dead*
+    rather than compacting the arrays, so every watch list stays valid.
+    """
+
+    def __init__(
+        self,
+        evaluator: "StatusEvaluator",
+        base: Iterable[Atom],
+        config: MaintenanceConfig = MaintenanceConfig(),
+    ) -> None:
+        self.config = config
+        self._order = evaluator.order
+        self._base = frozenset(base)
+        index = evaluator.index
+        n = len(index)
+        self._rules: list[GroundRule] = list(index.rules)
+        self._alive: list[bool] = [True] * n
+        self._heads: list[Literal] = list(index.heads)
+        self._body_sizes: list[int] = list(index.body_sizes)
+        self._body_watch: dict[Literal, list[int]] = {
+            lit: list(ids) for lit, ids in index.body_watch.items()
+        }
+        self._block_watch: dict[Literal, list[int]] = {
+            lit: list(ids) for lit, ids in index.block_watch.items()
+        }
+        self._contradiction_watch: list[list[tuple[int, bool]]] = [
+            list(watchers) for watchers in index.contradiction_watch
+        ]
+        self._by_head: dict[Literal, list[int]] = {}
+        for i, head in enumerate(self._heads):
+            self._by_head.setdefault(head, []).append(i)
+        # Every alive empty-body rule is a retractable fact; refcounts
+        # mirror the grounder's instance dedup (telling the same fact
+        # twice grounds to one instance, so the model drops it only
+        # when the last copy is retracted).
+        self._fact_refs: dict[tuple[str, Literal], list[int]] = {}
+        for i, r in enumerate(self._rules):
+            if not r.body:
+                self._fact_refs[(r.component, r.head)] = [i, 1]
+        # Per-run counter state (the SemiNaiveFixpoint representation,
+        # kept alive across mutations).
+        self._satisfied: list[int] = []
+        self._blocked: list[bool] = []
+        self._live_over: list[int] = []
+        self._live_defeat: list[int] = []
+        self._fired: list[bool] = []
+        self._derived: set[Literal] = set()
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def interpretation(self) -> "Interpretation":
+        """The maintained least model as an immutable interpretation."""
+        from .interpretation import Interpretation
+
+        return Interpretation(self._derived, self._base)
+
+    def alive_rules(self) -> tuple[GroundRule, ...]:
+        """The current ground rule multiset (original order, asserted
+        facts appended, retracted facts omitted)."""
+        return tuple(
+            r for r, alive in zip(self._rules, self._alive) if alive
+        )
+
+    @property
+    def base(self) -> frozenset[Atom]:
+        return self._base
+
+    def alive_count(self) -> int:
+        return sum(self._alive)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, ops: Sequence[DeltaOp]) -> DeltaStats:
+        """Absorb a batch of assert/retract ops, in order.
+
+        The final model depends only on the final rule multiset, so the
+        whole batch runs one deletion cascade and one rederive pass.
+
+        Raises:
+            SemanticsError: retracting a fact that is not present.
+            DeltaUnsupported: an asserted atom is outside the base.
+        """
+        obs = get_instrumentation()
+        stats = DeltaStats()
+        pending = _Pending()
+        for kind, component, literal in ops:
+            if kind == RETRACT:
+                self._retract_one(component, literal, pending)
+                stats.retracted += 1
+            elif kind == ASSERT:
+                self._assert_one(component, literal, pending)
+                stats.asserted += 1
+            else:
+                raise ValueError(f"unknown delta op kind {kind!r}")
+        cap = self._frontier_cap()
+        try:
+            stats.deleted, cascade_reevals = self._cascade(pending, cap)
+            stats.rules_reevaluated += cascade_reevals
+            stats.rederived = self._forward(pending.candidates)
+        except _FrontierExceeded:
+            self.rebuild()
+            stats.full_rebuild = True
+            if obs.enabled:
+                obs.count("maintain.full_rebuilds")
+        if obs.enabled:
+            # maintain.delta_facts is counted by the caller
+            # (OrderedSemantics.apply_ops) so fallback paths that never
+            # reach the engine are included too.
+            obs.count("maintain.rules_reevaluated", stats.rules_reevaluated)
+            obs.count("maintain.literals_deleted", stats.deleted)
+            obs.count("maintain.literals_rederived", stats.rederived)
+        return stats
+
+    def rebuild(self) -> None:
+        """Recompute the model from ∅ over the current rule multiset.
+
+        No re-grounding happens — this is the engine-level fallback for
+        deltas whose status frontier exceeds the configured threshold.
+        """
+        n = len(self._rules)
+        self._satisfied = [0] * n
+        self._blocked = [False] * n
+        self._live_over = [0] * n
+        self._live_defeat = [0] * n
+        self._fired = [False] * n
+        self._derived = set()
+        for j in range(n):
+            if not self._alive[j]:
+                continue
+            for i, is_overruler in self._contradiction_watch[j]:
+                if not self._alive[i]:
+                    continue
+                if is_overruler:
+                    self._live_over[i] += 1
+                else:
+                    self._live_defeat[i] += 1
+        candidates = {
+            i
+            for i in range(n)
+            if self._alive[i] and self._body_sizes[i] == 0
+        }
+        self._forward(candidates)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping: one op at a time (cheap, no cascade yet)
+    # ------------------------------------------------------------------
+    def _retract_one(
+        self, component: str, literal: Literal, pending: _Pending
+    ) -> None:
+        key = (component, literal)
+        entry = self._fact_refs.get(key)
+        if entry is None:
+            raise SemanticsError(
+                f"cannot retract {literal} from component {component!r}: "
+                "no such told fact"
+            )
+        entry[1] -= 1
+        if entry[1] > 0:
+            return
+        i = entry[0]
+        del self._fact_refs[key]
+        self._alive[i] = False
+        # A fact has an empty body, so it was never blocked: it was a
+        # live threat to everything it watches.  Release them.
+        if not self._blocked[i]:
+            for w, is_overruler in self._contradiction_watch[i]:
+                if not self._alive[w]:
+                    continue
+                if is_overruler:
+                    self._live_over[w] -= 1
+                else:
+                    self._live_defeat[w] -= 1
+                pending.candidates.add(w)
+        if self._fired[i]:
+            self._fired[i] = False
+            pending.to_delete.append(self._heads[i])
+
+    def _assert_one(
+        self, component: str, literal: Literal, pending: _Pending
+    ) -> None:
+        if not literal.is_ground:
+            raise DeltaUnsupported(
+                f"only ground facts can be asserted incrementally: {literal}"
+            )
+        if literal.atom not in self._base:
+            raise DeltaUnsupported(
+                f"atom {literal.atom} is outside the grounded base; "
+                "the view must be re-grounded"
+            )
+        key = (component, literal)
+        entry = self._fact_refs.get(key)
+        if entry is not None:
+            entry[1] += 1
+            return
+        rule = GroundRule(literal, frozenset(), component)
+        i = len(self._rules)
+        self._rules.append(rule)
+        self._alive.append(True)
+        self._heads.append(literal)
+        self._body_sizes.append(0)
+        self._satisfied.append(0)
+        self._blocked.append(False)
+        self._fired.append(False)
+        self._contradiction_watch.append([])
+        live_over = live_defeat = 0
+        order = self._order
+        for j in self._by_head.get(literal.complement(), ()):
+            if not self._alive[j]:
+                continue
+            other = self._rules[j].component
+            # The existing rule as a threat to the new fact...
+            if order.strictly_below(other, component):
+                if not self._blocked[j]:
+                    live_over += 1
+                self._contradiction_watch[j].append((i, True))
+            elif order.incomparable_or_equal(other, component):
+                if not self._blocked[j]:
+                    live_defeat += 1
+                self._contradiction_watch[j].append((i, False))
+            # ... and the new fact as a threat to the existing rule.  A
+            # fact is never blocked, so the threat is live immediately.
+            threatens = False
+            if order.strictly_below(component, other):
+                self._live_over[j] += 1
+                self._contradiction_watch[i].append((j, True))
+                threatens = True
+            elif order.incomparable_or_equal(component, other):
+                self._live_defeat[j] += 1
+                self._contradiction_watch[i].append((j, False))
+                threatens = True
+            if threatens and self._fired[j]:
+                self._fired[j] = False
+                pending.to_delete.append(self._heads[j])
+            pending.candidates.add(j)
+        self._live_over.append(live_over)
+        self._live_defeat.append(live_defeat)
+        self._by_head.setdefault(literal, []).append(i)
+        self._fact_refs[key] = [i, 1]
+        pending.candidates.add(i)
+
+    # ------------------------------------------------------------------
+    # Deletion cascade (the overcounting half of delete-rederive)
+    # ------------------------------------------------------------------
+    def _frontier_cap(self) -> Optional[int]:
+        threshold = self.config.frontier_threshold
+        if threshold >= 1.0:
+            return None
+        return max(4, int(threshold * max(1, self.alive_count())))
+
+    def _cascade(
+        self, pending: _Pending, cap: Optional[int]
+    ) -> tuple[int, int]:
+        """Overcount-delete everything whose derivation might have
+        depended on the mutated facts; returns (deleted, reevals)."""
+        deleted = 0
+        reevals = 0
+        worklist = pending.to_delete
+        candidates = pending.candidates
+        recheck_blocked: set[int] = set()
+        while worklist:
+            l = worklist.pop()
+            if l not in self._derived:
+                continue
+            self._derived.discard(l)
+            deleted += 1
+            # Un-fire every remaining deriver; the forward phase will
+            # re-fire (and re-derive l) whatever is still supported.
+            for i in self._by_head.get(l, ()):
+                if self._alive[i] and self._fired[i]:
+                    self._fired[i] = False
+                    candidates.add(i)
+                    reevals += 1
+            # Body support lost: consequences are overcount-deleted.
+            for i in self._body_watch.get(l, ()):
+                if not self._alive[i]:
+                    continue
+                self._satisfied[i] -= 1
+                candidates.add(i)
+                reevals += 1
+                if self._fired[i]:
+                    self._fired[i] = False
+                    worklist.append(self._heads[i])
+            # l may have been keeping some rule blocked.  Even when
+            # another derived blocker remains, that blocker's own
+            # justification may be cyclic through this very blockage
+            # (blocked threat → undefeated rule → derived blocker), so
+            # over-delete: treat the rule as unblocked, revive its
+            # threats, and delete the watchers' heads.  Survivors are
+            # re-blocked after the cascade drains and rederived by the
+            # forward phase.
+            for j in self._block_watch.get(l, ()):
+                if not self._alive[j] or not self._blocked[j]:
+                    continue
+                reevals += 1
+                self._blocked[j] = False
+                recheck_blocked.add(j)
+                candidates.add(j)
+                for w, is_overruler in self._contradiction_watch[j]:
+                    if not self._alive[w]:
+                        continue
+                    if is_overruler:
+                        self._live_over[w] += 1
+                    else:
+                        self._live_defeat[w] += 1
+                    candidates.add(w)
+                    reevals += 1
+                    if self._fired[w]:
+                        self._fired[w] = False
+                        worklist.append(self._heads[w])
+            if cap is not None and deleted + reevals > cap:
+                raise _FrontierExceeded
+        # Re-establish blockage that genuinely survived the deletion:
+        # the surviving interpretation is contained in the new least
+        # model, so a surviving blocker proves the rule stays blocked.
+        for j in recheck_blocked:
+            if not self._alive[j] or self._blocked[j]:
+                continue
+            reevals += 1
+            if not any(
+                b.complement() in self._derived
+                for b in self._rules[j].body
+            ):
+                continue
+            self._blocked[j] = True
+            for w, is_overruler in self._contradiction_watch[j]:
+                if not self._alive[w]:
+                    continue
+                if is_overruler:
+                    self._live_over[w] -= 1
+                else:
+                    self._live_defeat[w] -= 1
+                candidates.add(w)
+        return deleted, reevals
+
+    # ------------------------------------------------------------------
+    # Forward phase (initial run, rederive, and new derivations)
+    # ------------------------------------------------------------------
+    def _forward(self, candidates: set[int]) -> int:
+        """Resume the semi-naive iteration from the current state.
+
+        Mirrors :meth:`SemiNaiveFixpoint.run` over the mutable arrays;
+        sound because the surviving interpretation is contained in the
+        target least fixpoint (see the module docstring).
+        """
+        heads = self._heads
+        body_sizes = self._body_sizes
+        satisfied = self._satisfied
+        blocked = self._blocked
+        live_over = self._live_over
+        live_defeat = self._live_defeat
+        fired = self._fired
+        alive = self._alive
+        derived = self._derived
+        bound = 2 * len(self._base) + 2
+        stages = 0
+        total = 0
+        while candidates:
+            new_literals: set[Literal] = set()
+            for i in candidates:
+                if not alive[i] or fired[i] or blocked[i]:
+                    continue
+                if satisfied[i] != body_sizes[i]:
+                    continue
+                if live_over[i] or live_defeat[i]:
+                    continue
+                fired[i] = True
+                head = heads[i]
+                if head in derived or head in new_literals:
+                    continue
+                complement = head.complement()
+                if complement in derived or complement in new_literals:
+                    raise InconsistencyError(
+                        f"V produced both {head} and {complement}; "
+                        "the maintained state is inconsistent (a bug)"
+                    )
+                new_literals.add(head)
+            if not new_literals:
+                break
+            stages += 1
+            if stages > bound:
+                raise InconsistencyError(
+                    "maintenance rederive failed to converge within the "
+                    "stage bound; this indicates non-monotone behaviour "
+                    "(a bug)"
+                )
+            total += len(new_literals)
+            next_candidates: set[int] = set()
+            for lit in new_literals:
+                derived.add(lit)
+                for i in self._body_watch.get(lit, ()):
+                    if not alive[i]:
+                        continue
+                    satisfied[i] += 1
+                    next_candidates.add(i)
+                for j in self._block_watch.get(lit, ()):
+                    if not alive[j] or blocked[j]:
+                        continue
+                    blocked[j] = True
+                    for w, is_overruler in self._contradiction_watch[j]:
+                        if not alive[w]:
+                            continue
+                        if is_overruler:
+                            self._live_over[w] -= 1
+                        else:
+                            self._live_defeat[w] -= 1
+                        next_candidates.add(w)
+            candidates = next_candidates
+        return total
+
+    # ------------------------------------------------------------------
+    # Auditing (tests)
+    # ------------------------------------------------------------------
+    def audit(self) -> None:
+        """Assert counter soundness against Definition 2 from scratch.
+
+        O(rules²) — test/debug use only.
+        """
+        derived = self._derived
+        for i, r in enumerate(self._rules):
+            if not self._alive[i]:
+                continue
+            satisfied = sum(1 for b in r.body if b in derived)
+            assert self._satisfied[i] == satisfied, (i, str(r))
+            blocked = any(b.complement() in derived for b in r.body)
+            assert self._blocked[i] == blocked, (i, str(r))
+            live_over = live_defeat = 0
+            for j in self._by_head.get(r.head.complement(), ()):
+                if not self._alive[j] or self._blocked[j]:
+                    continue
+                other = self._rules[j].component
+                if self._order.strictly_below(other, r.component):
+                    live_over += 1
+                elif self._order.incomparable_or_equal(other, r.component):
+                    live_defeat += 1
+            assert self._live_over[i] == live_over, (i, str(r))
+            assert self._live_defeat[i] == live_defeat, (i, str(r))
+            fires = (
+                satisfied == len(r.body)
+                and not blocked
+                and not live_over
+                and not live_defeat
+            )
+            assert self._fired[i] == fires, (i, str(r))
+            if fires:
+                assert r.head in derived, (i, str(r))

@@ -22,10 +22,20 @@ from typing import Iterable, Optional, Union
 from ..grounding.grounder import Grounder, GroundingOptions, GroundProgram
 from ..lang.errors import SemanticsError
 from ..lang.literals import Literal
-from ..lang.program import OrderedProgram
+from ..lang.program import Component, OrderedProgram
+from ..lang.rules import Rule
+from ..lang.terms import Constant, walk_terms
 from ..obs import get_instrumentation
 from .assumptions import AssumptionAnalyzer
 from .interpretation import Interpretation, TruthValue
+from .maintenance import (
+    ASSERT,
+    RETRACT,
+    DeltaStats,
+    DeltaUnsupported,
+    MaintainedModel,
+    MaintenanceConfig,
+)
 from .models import ModelChecker
 from .solver import ModelEnumerator, SearchBudget
 from .statuses import ComponentOrder, StatusEvaluator, StatusReport
@@ -58,6 +68,18 @@ class OrderedSemantics:
             ``docs/evaluation.md``.
     """
 
+    #: cached_property names cleared on every program mutation.
+    _CACHED = (
+        "ground",
+        "evaluator",
+        "transform",
+        "checker",
+        "assumptions",
+        "enumerator",
+        "routing",
+        "least_model",
+    )
+
     def __init__(
         self,
         program: OrderedProgram,
@@ -65,6 +87,7 @@ class OrderedSemantics:
         grounding: GroundingOptions = GroundingOptions(),
         budget: SearchBudget = SearchBudget(),
         strategy: str = AUTO_STRATEGY,
+        maintenance: MaintenanceConfig = MaintenanceConfig(),
     ) -> None:
         if component not in program:
             raise SemanticsError(f"no component named {component!r}")
@@ -74,6 +97,8 @@ class OrderedSemantics:
         self._budget = budget
         self.strategy = validate_semantics_strategy(strategy)
         self._engine_strategy = engine_strategy(self.strategy)
+        self.maintenance = maintenance
+        self._maintained: Optional[MaintainedModel] = None
 
     # ------------------------------------------------------------------
     # Grounding and shared machinery (built lazily, cached)
@@ -208,6 +233,192 @@ class OrderedSemantics:
         """True when the least model leaves the literal undefined — e.g.
         after two experts defeat each other (Figure 2)."""
         return self.value(literal) is TruthValue.UNDEFINED
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (docs/maintenance.md)
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        assertions: Iterable[Union[Literal, str, tuple[str, Union[Literal, str]]]] = (),
+        retractions: Iterable[Union[Literal, str, tuple[str, Union[Literal, str]]]] = (),
+        component: Optional[str] = None,
+    ) -> DeltaStats:
+        """Assert/retract ground facts, maintaining the computed model.
+
+        Each item is a ground fact literal (or its surface syntax), or a
+        ``(component, literal)`` pair; bare literals go to ``component``
+        (default: this view's component).  Retractions remove one told
+        copy of the fact and raise :class:`SemanticsError` when the fact
+        is not present.  See :class:`~repro.core.maintenance.MaintenanceConfig`
+        for the fallback behaviour.
+        """
+        default = component if component is not None else self.component
+        ops: list[tuple[str, str, Union[Literal, str]]] = []
+        for kind, items in ((ASSERT, assertions), (RETRACT, retractions)):
+            for item in items:
+                if isinstance(item, tuple):
+                    comp, lit = item
+                    ops.append((kind, comp, lit))
+                else:
+                    ops.append((kind, default, item))
+        return self.apply_ops(ops)
+
+    def apply_ops(
+        self, ops: Iterable[tuple[str, str, Union[Literal, str]]]
+    ) -> DeltaStats:
+        """Apply a batch of ``(kind, component, fact)`` mutations.
+
+        Mutates :attr:`program` (facts are appended/removed as rules)
+        and repairs the cached least model through the delta engine when
+        possible; falls back to invalidation + recomputation otherwise
+        (maintenance disabled, ``strategy="classical"``, or an asserted
+        atom outside the grounded base).
+        """
+        coerced: list[tuple[str, str, Literal]] = []
+        for kind, comp, item in ops:
+            if kind not in (ASSERT, RETRACT):
+                raise SemanticsError(f"unknown delta op kind {kind!r}")
+            if comp not in self.program:
+                raise SemanticsError(f"no component named {comp!r}")
+            lit = self._coerce(item)
+            if not lit.is_ground:
+                raise SemanticsError(
+                    f"only ground facts can be told/retracted: {lit}"
+                )
+            coerced.append((kind, comp, lit))
+        new_program, engine_ops, unsupported = self._mutate_program(coerced)
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.count("maintain.delta_facts", len(coerced))
+        n_assert = sum(1 for k, _, _ in coerced if k == ASSERT)
+        base_stats = DeltaStats(
+            asserted=n_assert, retracted=len(coerced) - n_assert
+        )
+        if not engine_ops and not unsupported:
+            # No visible ground-level change (facts outside C*, or
+            # duplicate copies absorbed): every cache stays valid.
+            self.program = new_program
+            return base_stats
+        have_model = (
+            self._maintained is not None or "least_model" in self.__dict__
+        )
+        use_engine = (
+            self.maintenance.enabled
+            and self.strategy != CLASSICAL_STRATEGY
+            and have_model
+            and not unsupported
+        )
+        if not use_engine:
+            self.program = new_program
+            self._invalidate_all()
+            base_stats.full_rebuild = True
+            if obs.enabled:
+                obs.count("maintain.full_rebuilds")
+            return base_stats
+        try:
+            if self._maintained is None:
+                self._maintained = MaintainedModel(
+                    self.evaluator, self.ground.base, self.maintenance
+                )
+            stats = self._maintained.apply(engine_ops)
+        except DeltaUnsupported:
+            # e.g. an asserted atom outside the grounded base: the view
+            # must be re-grounded from the mutated program.
+            self.program = new_program
+            self._invalidate_all()
+            if obs.enabled:
+                obs.count("maintain.full_rebuilds")
+            base_stats.full_rebuild = True
+            return base_stats
+        except Exception:
+            # The maintained state may be mid-mutation; drop it so the
+            # next read recomputes from the mutated program.
+            self.program = new_program
+            self._invalidate_all()
+            raise
+        self.program = new_program
+        maintained = self._maintained
+        old_ground = self.__dict__.get("ground")
+        for name in self._CACHED:
+            self.__dict__.pop(name, None)
+        if old_ground is not None:
+            self.__dict__["ground"] = GroundProgram(
+                maintained.alive_rules(), old_ground.base, old_ground.universe
+            )
+        self.__dict__["least_model"] = maintained.interpretation()
+        return stats
+
+    def _mutate_program(
+        self, ops: list[tuple[str, str, Literal]]
+    ) -> tuple[OrderedProgram, list[tuple[str, str, Literal]], bool]:
+        """The mutated immutable program, the ops that change the
+        *deduplicated* ground fact multiset of this view, and whether
+        the batch defeats refcounting (forcing a full recomputation).
+
+        The grounder collapses identical instances per component, so a
+        fact told twice grounds once: only the first copy's assertion
+        and the last copy's retraction reach the delta engine.
+        """
+        rules = {c.name: list(c.rules) for c in self.program.components()}
+        visible = {c.name for c in self.program.visible_components(self.component)}
+        engine_ops: list[tuple[str, str, Literal]] = []
+        unsupported = False
+        for kind, comp, lit in ops:
+            bucket = rules[comp]
+            fact = Rule(lit)
+            count = sum(1 for r in bucket if r == fact)
+            if kind == ASSERT:
+                bucket.append(fact)
+                if count == 0 and comp in visible:
+                    engine_ops.append((ASSERT, comp, lit))
+            else:
+                if count == 0:
+                    raise SemanticsError(
+                        f"cannot retract {lit} from component {comp!r}: "
+                        "fact was never told"
+                    )
+                bucket.remove(fact)
+                if count == 1 and comp in visible:
+                    if any(
+                        not r.body_literals()
+                        and r.head.positive == lit.positive
+                        and (
+                            r.head == lit
+                            if r.head.is_ground
+                            else r.head.atom.signature == lit.atom.signature
+                        )
+                        for r in bucket
+                    ):
+                        # Another source (a non-ground fact like p(X).,
+                        # or a guard-only rule with the same head) may
+                        # ground to the same deduplicated instance;
+                        # refcounts cannot tell.  Recompute.
+                        unsupported = True
+                    engine_ops.append((RETRACT, comp, lit))
+        new_program = OrderedProgram(
+            [Component(name, rs) for name, rs in rules.items()],
+            self.program.order.pairs(),
+        )
+        if not unsupported:
+            retracted_constants = {
+                constant
+                for kind, _, lit in ops
+                if kind == RETRACT
+                for term in lit.args
+                for constant in walk_terms(term)
+                if isinstance(constant, Constant)
+            }
+            if retracted_constants and not retracted_constants <= new_program.constants():
+                # The retraction removed a constant's last occurrence,
+                # shrinking the Herbrand universe: closed-world defaults
+                # over that constant are no longer grounded.  Recompute.
+                unsupported = True
+        return new_program, engine_ops, unsupported
+
+    def _invalidate_all(self) -> None:
+        self._maintained = None
+        for name in self._CACHED:
+            self.__dict__.pop(name, None)
 
     # ------------------------------------------------------------------
     # Definition 2 statuses (diagnostics)

@@ -22,14 +22,20 @@ abstractions:
 >>> kb.ask("penguin", "-fly(tweety)")
 True
 
-Every mutation invalidates the cached semantics; reads rebuild lazily.
+Mutations are absorbed *incrementally* (docs/maintenance.md): telling
+or retracting ground facts only dirties the cached views whose ``C*``
+contains the mutated object, and a dirty view repairs itself through
+the delta engine on its next read instead of recomputing from scratch.
+Structural mutations (non-fact rules, new isa edges, closure
+assumptions) still drop the affected views.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from ..core.interpretation import Interpretation, TruthValue
+from ..core.maintenance import ASSERT, RETRACT, MaintenanceConfig
 from ..core.semantics import OrderedSemantics
 from ..core.solver import SearchBudget
 from ..grounding.grounder import GroundingOptions
@@ -55,12 +61,16 @@ class KnowledgeBase:
         self,
         grounding: GroundingOptions = GroundingOptions(),
         budget: SearchBudget = SearchBudget(),
+        maintenance: MaintenanceConfig = MaintenanceConfig(),
     ) -> None:
         self._rules: dict[str, list[Rule]] = {}
         self._pairs: set[tuple[str, str]] = set()
         self._grounding = grounding
         self._budget = budget
+        self._maintenance = maintenance
         self._semantics_cache: dict[str, OrderedSemantics] = {}
+        #: Fact deltas queued per cached view, flushed on next read.
+        self._pending: dict[str, list[tuple[str, str, Literal]]] = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -84,27 +94,76 @@ class KnowledgeBase:
             self._link(name, parent)
         if self.DEFAULTS_OBJECT in self._rules and name != self.DEFAULTS_OBJECT:
             self._pairs.add((name, self.DEFAULTS_OBJECT))
-        self._invalidate()
+        # A fresh object sits below (or beside) everything that exists,
+        # so no cached view can see it: existing views stay warm.
 
     def tell(self, name: str, rules: Union[str, Iterable[Rule]]) -> None:
-        """Add rules to an existing object."""
+        """Add rules to an existing object.
+
+        Ground facts flow to the cached views through the delta engine
+        (only views whose ``C*`` contains ``name`` are touched); any
+        non-fact rule makes the mutation structural, dropping the
+        views that see ``name``.
+        """
         self._require(name)
-        self._rules[name].extend(self._parse(rules))
-        self._invalidate()
+        parsed = self._parse(rules)
+        self._rules[name].extend(parsed)
+        if all(r.is_fact and r.is_ground for r in parsed):
+            self._queue_facts(ASSERT, name, parsed)
+        else:
+            self._drop_views_seeing(name)
 
     def isa(self, child: str, parent: str) -> None:
         """Declare ``child < parent`` (child inherits from parent)."""
         self._require(child)
         self._link(child, parent)
-        self._invalidate()
+        # Every view that sees the child now also sees the parent's
+        # rules: structural for exactly those views.
+        self._drop_views_seeing(child)
 
     def tell_facts(self, name: str, database) -> None:
         """Load an extensional :class:`repro.db.Database` into an object
         as ground facts (Example 6's "parent is defined through a
         database relation")."""
         self._require(name)
-        self._rules[name].extend(database.facts())
-        self._invalidate()
+        facts = list(database.facts())
+        self._rules[name].extend(facts)
+        if all(r.is_fact and r.is_ground for r in facts):
+            self._queue_facts(ASSERT, name, facts)
+        else:  # pragma: no cover - databases produce ground facts
+            self._drop_views_seeing(name)
+
+    def retract(self, name: str, rules: Union[str, Iterable[Rule]]) -> None:
+        """Remove previously told ground facts from an object.
+
+        Each fact removes one told copy; affected cached views repair
+        incrementally on their next read (a retraction can un-overrule
+        or un-defeat inherited rules, restoring more general defaults).
+
+        Raises:
+            SemanticsError: if a rule is not a ground fact, or the fact
+                was never told (the whole batch is rejected atomically).
+        """
+        self._require(name)
+        parsed = self._parse(rules)
+        bucket = self._rules[name]
+        removals: dict[Rule, int] = {}
+        for r in parsed:
+            if not (r.is_fact and r.is_ground):
+                raise SemanticsError(
+                    f"only ground facts can be retracted, not {r}"
+                )
+            removals[r] = removals.get(r, 0) + 1
+        for r, wanted in removals.items():
+            present = sum(1 for existing in bucket if existing == r)
+            if present < wanted:
+                raise SemanticsError(
+                    f"cannot retract {r} from object {name!r}: "
+                    "fact was never told"
+                )
+        for r in parsed:
+            bucket.remove(r)
+        self._queue_facts(RETRACT, name, parsed)
 
     def derive(
         self,
@@ -177,6 +236,40 @@ class KnowledgeBase:
 
     def _invalidate(self) -> None:
         self._semantics_cache.clear()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Fine-grained invalidation (docs/maintenance.md)
+    # ------------------------------------------------------------------
+    def _poset(self) -> PartialOrder:
+        return PartialOrder(self._rules.keys(), self._pairs)
+
+    def _seeing_views(self, name: str) -> list[str]:
+        """Cached views whose ``C*`` contains ``name`` — exactly the
+        views whose meaning a mutation of ``name`` can change."""
+        if not self._semantics_cache:
+            return []
+        down = self._poset().downset(name)
+        return [view for view in self._semantics_cache if view in down]
+
+    def _drop_views_seeing(self, name: str) -> None:
+        for view in self._seeing_views(name):
+            del self._semantics_cache[view]
+            self._pending.pop(view, None)
+
+    def _queue_facts(
+        self, kind: str, name: str, facts: Iterable[Rule]
+    ) -> None:
+        """Queue fact deltas for every cached view that sees ``name``;
+        views that cannot see the object stay cached *and* clean."""
+        if not self._maintenance.enabled:
+            self._drop_views_seeing(name)
+            return
+        ops = [(kind, name, r.head) for r in facts]
+        if not ops:
+            return
+        for view in self._seeing_views(name):
+            self._pending.setdefault(view, []).extend(ops)
 
     # ------------------------------------------------------------------
     # Structure
@@ -199,14 +292,27 @@ class KnowledgeBase:
     # Reading
     # ------------------------------------------------------------------
     def view(self, name: str) -> OrderedSemantics:
-        """The semantics of the KB from one object's point of view."""
+        """The semantics of the KB from one object's point of view.
+
+        A cached view with queued fact deltas repairs itself through
+        the delta engine before it is returned.
+        """
         self._require(name)
         cached = self._semantics_cache.get(name)
         if cached is None:
             cached = OrderedSemantics(
-                self.program(), name, grounding=self._grounding, budget=self._budget
+                self.program(),
+                name,
+                grounding=self._grounding,
+                budget=self._budget,
+                maintenance=self._maintenance,
             )
             self._semantics_cache[name] = cached
+            self._pending.pop(name, None)
+            return cached
+        pending = self._pending.pop(name, None)
+        if pending:
+            cached.apply_ops(pending)
         return cached
 
     def ask(

@@ -9,6 +9,7 @@ Commands::
     load FILE                 load an .olp file (replaces the program)
     focus COMPONENT           set the component whose meaning is queried
     assert [COMPONENT] RULE   add a rule (defaults to the focus)
+    retract [COMPONENT] FACT  remove a told ground fact
     order A < B               add an order pair
     model                     print the least model of the focus
     stable                    print the stable models
@@ -58,6 +59,7 @@ class ReplSession:
             "load": self._cmd_load,
             "focus": self._cmd_focus,
             "assert": self._cmd_assert,
+            "retract": self._cmd_retract,
             "order": self._cmd_order,
             "model": self._cmd_model,
             "stable": self._cmd_stable,
@@ -144,15 +146,53 @@ class ReplSession:
         self._invalidate()
         return f"focus = {arg}"
 
-    def _cmd_assert(self, arg: str) -> str:
+    def _split_target(self, arg: str) -> tuple[str, str]:
         target = self._focus
         word, _, rest = arg.partition(" ")
         if word in self._rules and rest.strip().endswith("."):
             target, arg = word, rest.strip()
+        return target, arg
+
+    def _cmd_assert(self, arg: str) -> str:
+        target, arg = self._split_target(arg)
         r = parse_rule(arg)
         self._rules.setdefault(target, []).append(r)
-        self._invalidate()
+        # Ground facts repair the cached model through the delta engine
+        # instead of recomputing the view from scratch.
+        if (
+            self._semantics is not None
+            and r.is_fact
+            and r.is_ground
+            and target in self._semantics.program
+        ):
+            self._semantics.apply_ops([("assert", target, r.head)])
+        else:
+            self._invalidate()
         return f"[{target}] {r}"
+
+    def _cmd_retract(self, arg: str) -> str:
+        target, arg = self._split_target(arg)
+        if not arg:
+            return "usage: retract [COMPONENT] FACT."
+        r = parse_rule(arg)
+        if not (r.is_fact and r.is_ground):
+            return f"error: only ground facts can be retracted, not {r}"
+        bucket = self._rules.get(target, [])
+        try:
+            bucket.remove(r)
+        except ValueError:
+            return (
+                f"error: cannot retract {r} from component {target!r}: "
+                "fact was never told"
+            )
+        if (
+            self._semantics is not None
+            and target in self._semantics.program
+        ):
+            self._semantics.apply_ops([("retract", target, r.head)])
+        else:
+            self._invalidate()
+        return f"[{target}] retracted {r}"
 
     def _cmd_order(self, arg: str) -> str:
         parts = [p.strip() for p in arg.split("<")]
@@ -222,8 +262,8 @@ class ReplSession:
 
     def _cmd_help(self, arg: str) -> str:
         return (
-            "commands: load focus assert order model stable value query "
-            "why statuses hierarchy lint show save help quit\n"
+            "commands: load focus assert retract order model stable value "
+            "query why statuses hierarchy lint show save help quit\n"
             "bare rules ending in '.' are asserted into the focus component"
         )
 

@@ -1,7 +1,7 @@
 """Workload generators: the paper's programs, scalable hierarchies,
 classic deductive-database programs, and seeded random programs."""
 
-from . import classic, experts, hierarchies, paper, random_programs
+from . import classic, experts, hierarchies, paper, random_programs, sessions
 from .classic import ancestor_chain, even_odd, two_stable, win_move
 from .experts import contradicting_panel, expert_panel
 from .hierarchies import diamond, override_chain, release_chain, taxonomy
@@ -11,6 +11,13 @@ from .random_programs import (
     random_rules,
     random_seminegative_rules,
 )
+from .sessions import (
+    build_session_kb,
+    interactive_session,
+    run_session,
+    session_ops,
+    session_program,
+)
 
 __all__ = [
     "paper",
@@ -18,6 +25,12 @@ __all__ = [
     "experts",
     "hierarchies",
     "random_programs",
+    "sessions",
+    "interactive_session",
+    "session_program",
+    "session_ops",
+    "build_session_kb",
+    "run_session",
     "expert_panel",
     "contradicting_panel",
     "ancestor_chain",

@@ -58,6 +58,47 @@ class TestMutation:
         assert out.startswith("error:")
 
 
+class TestRetract:
+    def test_retract_from_named_component(self, session):
+        before = session.execute("model")
+        out = session.execute("retract c2 bird(penguin).")
+        assert out == "[c2] retracted bird(penguin)."
+        assert session.execute("model") != before
+        # Telling the fact back restores the exact model.
+        session.execute("assert c2 bird(penguin).")
+        assert session.execute("model") == before
+
+    def test_retract_defaults_to_focus(self, session):
+        session.execute("focus c2")
+        session.execute("model")
+        assert session.execute("value fly(penguin)") == "T"
+        out = session.execute("retract bird(penguin).")
+        assert out == "[c2] retracted bird(penguin)."
+        assert session.execute("value fly(penguin)") == "U"
+
+    def test_retract_never_told_fact_errors(self, session):
+        out = session.execute("retract c2 bird(dodo).")
+        assert out.startswith("error:")
+        assert "never told" in out
+
+    def test_retract_non_fact_errors(self, session):
+        out = session.execute("retract c2 fly(X) :- bird(X).")
+        assert out.startswith("error:")
+        assert "only ground facts" in out
+        out = session.execute("retract")
+        assert out.startswith("usage:")
+
+    def test_ground_fact_mutations_keep_the_cached_view(self, session):
+        session.execute("model")
+        view = session.semantics()
+        session.execute("retract c2 bird(penguin).")
+        session.execute("assert c2 bird(penguin).")
+        assert session.semantics() is view
+        # Structural mutations still drop it.
+        session.execute("assert c2 swims(X) :- penguin(X).")
+        assert session.semantics() is not view
+
+
 class TestQueries:
     def test_model(self, session):
         out = session.execute("model")
