@@ -1,0 +1,152 @@
+"""Serving-layer benchmarks: write coalescing and read isolation.
+
+Two experiments (docs/server.md), both over the membership-registry
+hierarchy that the maintenance benchmarks use:
+
+* ``server-write`` — the same stream of concurrent ``tell`` requests
+  through the single-writer pipeline with ``max_batch=1`` (strategy
+  ``per-op``: every request pays its own publish, one ``apply_ops``
+  per op) vs the default coalescing pipeline (strategy ``batched``:
+  queued requests collapse into one delta flush and one publish per
+  batch).  The CI gate requires batched to be ≥2x faster at the
+  largest size (``scripts/check_seminaive_speedup.py --experiment
+  server-write``).
+* ``server-read`` — p50/p95 of individual cautious reads against a
+  published snapshot while the writer is idle vs while a background
+  client streams writes.  Snapshot isolation means reads never wait on
+  the writer, so the busy p50 must stay within a small factor of the
+  idle p50 (``scripts/check_server_read_latency.py``).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.server import ServerConfig, ServerEngine, parse_request
+from repro.workloads.clients import build_server_kb
+
+from .conftest import capture_metrics, record
+
+DEPTH = 4
+ENTITIES = 8
+
+#: (size label, concurrent tell requests per round).
+WRITE_SIZES = [("small", 32), ("large", 256)]
+
+#: Reads timed per round in the read-latency experiment.
+N_READS = 200
+
+
+def _tell(i: int):
+    level = i % DEPTH
+    return parse_request(
+        {
+            "id": i,
+            "op": "tell",
+            "view": f"level{level}",
+            "rules": f"enrolled_{level}(e{i % ENTITIES}).",
+        }
+    )
+
+
+def _read(i: int):
+    # ``known(e0)`` is a root fact: it holds from level0's point of view
+    # no matter what the write stream tells, so every read asserts true.
+    return parse_request(
+        {"id": f"r{i}", "op": "ask", "view": "level0", "pattern": "known(e0)"}
+    )
+
+
+@pytest.mark.parametrize("mode", ["per-op", "batched"])
+@pytest.mark.parametrize(
+    "size,n_ops", WRITE_SIZES, ids=[s[0] for s in WRITE_SIZES]
+)
+def test_write_throughput(benchmark, size, n_ops, mode):
+    # Queue sized above n_ops: this experiment measures pipeline cost,
+    # not admission control, so nothing may be shed.
+    config = ServerConfig(
+        max_queue=n_ops + 8, max_batch=1 if mode == "per-op" else 64
+    )
+
+    async def scenario():
+        async with ServerEngine(build_server_kb(DEPTH, ENTITIES), config) as engine:
+            # Materialize every view once so each publish maintains hot
+            # views through the delta engine (the serving steady state).
+            for level in range(DEPTH):
+                await engine.handle(_read(-level))
+            replies = await asyncio.gather(
+                *(engine.handle(_tell(i)) for i in range(n_ops))
+            )
+            assert all(reply["ok"] for reply in replies)
+            return engine.version
+
+    def run():
+        return asyncio.run(scenario())
+
+    versions = benchmark(run)
+    if mode == "per-op":
+        assert versions == n_ops  # one publish per request
+    else:
+        assert versions < n_ops  # coalesced
+    record(
+        benchmark,
+        experiment="server-write",
+        size={"small": 1, "large": 2}[size],
+        ops=n_ops,
+        strategy=mode,
+    )
+    capture_metrics(benchmark, run)
+
+
+@pytest.mark.parametrize("mode", ["idle", "busy"])
+def test_read_latency_under_writer(benchmark, mode):
+    import time
+
+    async def scenario():
+        async with ServerEngine(build_server_kb(DEPTH, ENTITIES)) as engine:
+            await engine.handle(_read(0))  # warm the hot view
+            writing = mode == "busy"
+            writer_done = asyncio.Event()
+
+            async def background_writer():
+                i = 0
+                while writing:
+                    await engine.handle(_tell(i))
+                    i += 1
+                writer_done.set()
+
+            writer = (
+                asyncio.ensure_future(background_writer()) if writing else None
+            )
+            latencies = []
+            for i in range(N_READS):
+                await asyncio.sleep(0)  # let the writer interleave
+                t0 = time.perf_counter()
+                reply = await engine.handle(_read(i))
+                latencies.append(time.perf_counter() - t0)
+                assert reply["ok"] and reply["result"]["holds"]
+            if writer is not None:
+                writing = False
+                await writer_done.wait()
+                await writer
+            return latencies
+
+    collected = []
+
+    def run():
+        latencies = asyncio.run(scenario())
+        collected.append(latencies)
+        return latencies
+
+    benchmark(run)
+    latencies = sorted(collected[-1])
+    p50 = latencies[len(latencies) // 2]
+    p95 = latencies[int(len(latencies) * 0.95)]
+    record(
+        benchmark,
+        experiment="server-read",
+        reads=N_READS,
+        strategy=mode,
+        p50_s=p50,
+        p95_s=p95,
+    )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Gate: server read latency must be unaffected by a concurrent writer.
+
+Usage:
+    python scripts/check_server_read_latency.py BENCH.json
+    python scripts/check_server_read_latency.py BENCH.json --max-ratio 3
+
+Reads the ``server-read`` experiment from a pytest-benchmark JSON
+payload (``benchmarks/bench_server.py``) and fails (exit 1) unless the
+p50 of individual reads with a busy background writer stays within
+``--max-ratio`` of the idle p50.  Snapshot isolation is the claim under
+test: readers answer from the published snapshot and never wait on the
+write pipeline, so concurrent writes must not stretch the typical read.
+The p50s come from ``extra_info`` (measured per request inside the
+benchmark) because the benchmark's own mean times the whole read loop —
+which *does* include interleaved writer work in the busy mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="read-latency isolation gate over a benchmark payload"
+    )
+    parser.add_argument("payload", help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=float(os.environ.get("SERVER_READ_MAX_RATIO", "3.0")),
+        help="largest allowed busy-p50 / idle-p50 ratio",
+    )
+    args = parser.parse_args(argv[1:])
+
+    with open(args.payload) as handle:
+        payload = json.load(handle)
+
+    p50s: dict[str, float] = {}
+    p95s: dict[str, float] = {}
+    for bench in payload["benchmarks"]:
+        info = bench.get("extra_info", {})
+        if info.get("experiment") != "server-read":
+            continue
+        p50s[info["strategy"]] = float(info["p50_s"])
+        p95s[info["strategy"]] = float(info["p95_s"])
+
+    missing = {"idle", "busy"} - set(p50s)
+    if missing:
+        print(f"server-read benchmarks missing strategies: {sorted(missing)}")
+        return 1
+
+    ratio = p50s["busy"] / p50s["idle"]
+    ok = ratio <= args.max_ratio
+    print(
+        f"idle: p50={p50s['idle'] * 1e6:.1f}us p95={p95s['idle'] * 1e6:.1f}us"
+    )
+    print(
+        f"busy: p50={p50s['busy'] * 1e6:.1f}us p95={p95s['busy'] * 1e6:.1f}us"
+    )
+    print(
+        f"busy/idle p50 ratio: {ratio:.2f} "
+        f"[gate <= {args.max_ratio}: {'ok' if ok else 'FAIL'}]"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""End-to-end smoke of ``olp serve``: spawn the server, drive a
+scripted NDJSON session over TCP, request shutdown, verify the drain.
+
+Usage (from the repo root; the CI smoke job runs exactly this):
+
+    PYTHONPATH=src python scripts/server_smoke_client.py
+
+Spawns ``python -m repro.cli serve --port 0`` as a subprocess, parses
+the listening banner for the bound port, then checks every serving
+path a deployment depends on: health, define, query, coalesced
+concurrent tells, snapshot versioning, a semantics rejection, stats,
+and a clean ``shutdown`` drain (subprocess must exit 0 and print its
+"drained and stopped" line).  Exits non-zero on the first surprise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+
+HOST = "127.0.0.1"
+BANNER = re.compile(r"olp serve: listening on ([\d.]+):(\d+)")
+
+
+def fail(message: str):
+    print(f"smoke: FAIL — {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Session:
+    def __init__(self, port: int) -> None:
+        self.sock = socket.create_connection((HOST, port), timeout=10)
+        self.file = self.sock.makefile("rwb")
+
+    def call(self, **payload) -> dict:
+        self.file.write(json.dumps(payload).encode() + b"\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            fail(f"connection closed answering {payload!r}")
+        return json.loads(line)
+
+    def expect_ok(self, **payload) -> dict:
+        reply = self.call(**payload)
+        if not reply.get("ok"):
+            fail(f"{payload!r} -> {reply!r}")
+        return reply
+
+    def close(self) -> None:
+        self.file.close()
+        self.sock.close()
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        assert server.stdout is not None
+        line = server.stdout.readline()
+        match = BANNER.search(line)
+        if match is None:
+            fail(f"no listening banner, got {line!r}")
+        port = int(match.group(2))
+        print(f"smoke: server up on port {port}")
+
+        session = Session(port)
+        health = session.expect_ok(id=1, op="health")
+        if health["result"]["status"] != "ok":
+            fail(f"unhealthy at startup: {health!r}")
+
+        session.expect_ok(
+            id=2, op="define", view="bird",
+            rules="fly(X) :- bird_of(X).\nbird_of(tweety).",
+        )
+        session.expect_ok(
+            id=3, op="define", view="penguin",
+            rules="-fly(X) :- penguin_of(X).\nbird_of(X) :- penguin_of(X).",
+            isa=["bird"],
+        )
+        reply = session.expect_ok(
+            id=4, op="query", view="bird", pattern="fly(X)"
+        )
+        if [a["literal"] for a in reply["result"]["answers"]] != ["fly(tweety)"]:
+            fail(f"unexpected answers: {reply!r}")
+
+        # A second connection writes concurrently with the first.
+        other = Session(port)
+        for i in range(10):
+            session.expect_ok(
+                id=f"a{i}", op="tell", view="penguin",
+                rules=f"penguin_of(p{i}).",
+            )
+            other.expect_ok(
+                id=f"b{i}", op="tell", view="bird", rules=f"bird_of(b{i})."
+            )
+        count = session.expect_ok(
+            id=5, op="query", view="penguin", pattern="-fly(X)"
+        )
+        if count["result"]["count"] != 10:
+            fail(f"expected 10 grounded penguins: {count!r}")
+
+        rejected = session.call(
+            id=6, op="retract", view="penguin", rules="penguin_of(ghost)."
+        )
+        if rejected.get("ok") or rejected["error"]["code"] != "semantics":
+            fail(f"bogus retract not rejected: {rejected!r}")
+
+        stats = session.expect_ok(id=7, op="stats")["result"]
+        if stats["version"] < 3 or stats["writes"]["ops"] != 22:
+            fail(f"surprising stats: {stats!r}")
+        print(
+            "smoke: version={version} batches={batches} mean_batch={mean:.2f}".format(
+                version=stats["version"],
+                batches=stats["writes"]["batches"],
+                mean=stats["writes"]["mean_batch"],
+            )
+        )
+
+        other.close()
+        bye = session.expect_ok(id=8, op="shutdown")
+        if bye["result"]["draining"] is not True:
+            fail(f"shutdown not acknowledged: {bye!r}")
+        session.close()
+
+        try:
+            code = server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("server did not exit after shutdown")
+        tail = server.stdout.read()
+        if code != 0:
+            fail(f"server exited {code}: {tail!r}")
+        if "drained and stopped" not in tail:
+            fail(f"no drain banner in {tail!r}")
+        print(f"smoke: clean exit — {tail.strip().splitlines()[-1]}")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    start = time.monotonic()
+    code = main()
+    print(f"smoke: ok in {time.monotonic() - start:.2f}s")
+    sys.exit(code)

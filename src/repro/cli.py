@@ -14,6 +14,9 @@ Installed as ``olp`` (also ``python -m repro``).  Subcommands:
   (``docs/analysis.md``); ``--max-severity`` controls the exit code.
 * ``olp profile FILE -c COMPONENT`` — run with instrumentation on and
   print a per-phase timing / counter breakdown.
+* ``olp serve [FILE]`` — serve queries and mutations over TCP with
+  snapshot-isolated reads and a single-writer delta pipeline
+  (``docs/server.md``).
 
 Observability flags (every subcommand): ``-v`` / ``-vv`` stream INFO /
 DEBUG events to stderr, ``--quiet`` silences events entirely,
@@ -178,6 +181,49 @@ def build_parser() -> argparse.ArgumentParser:
     repl = sub.add_parser("repl", help="interactive ordered-logic shell")
     repl.add_argument("file", nargs="?", default=None, help="optional .olp to load")
     _add_output_flags(repl)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries and mutations over TCP (newline-delimited "
+        "JSON; see docs/server.md)",
+    )
+    serve.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="optional .olp program to preload as the knowledge base",
+    )
+    serve.add_argument(
+        "--restore",
+        metavar="PATH",
+        default=None,
+        help="restore the knowledge base from a serialized snapshot "
+        "(repro.serialize.dumps_kb JSON) instead of an .olp file",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411)
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="bound of the write queue; a full queue sheds writes with "
+        "an 'overloaded' reply (default: 256)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="most write requests coalesced into one published snapshot "
+        "version (default: 64)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline; requests not started before "
+        "it expires are shed with a 'timeout' reply",
+    )
+    _add_output_flags(serve)
     return parser
 
 
@@ -441,6 +487,36 @@ def _cmd_repl(args: argparse.Namespace) -> int:  # pragma: no cover - interactiv
     return run(args.file)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .kb.knowledge_base import KnowledgeBase
+    from .server import ServerConfig, run_server
+
+    if args.file is not None and args.restore is not None:
+        raise ReproError("pass an .olp file or --restore, not both")
+    if args.restore is not None:
+        from .serialize import loads_kb
+
+        with open(args.restore) as handle:
+            kb = loads_kb(handle.read())
+    elif args.file is not None:
+        kb = KnowledgeBase.from_program(_load(args.file))
+    else:
+        kb = KnowledgeBase()
+    config = ServerConfig(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        default_deadline_ms=args.deadline_ms,
+    )
+    try:
+        asyncio.run(run_server(kb, host=args.host, port=args.port, config=config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("olp serve: interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "query": _cmd_query,
@@ -451,6 +527,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "profile": _cmd_profile,
     "repl": _cmd_repl,
+    "serve": _cmd_serve,
 }
 
 

@@ -84,13 +84,19 @@ class OrderedSemantics:
         self,
         program: OrderedProgram,
         component: str,
-        grounding: GroundingOptions = GroundingOptions(),
-        budget: SearchBudget = SearchBudget(),
+        grounding: Optional[GroundingOptions] = None,
+        budget: Optional[SearchBudget] = None,
         strategy: str = AUTO_STRATEGY,
-        maintenance: MaintenanceConfig = MaintenanceConfig(),
+        maintenance: Optional[MaintenanceConfig] = None,
     ) -> None:
         if component not in program:
             raise SemanticsError(f"no component named {component!r}")
+        if grounding is None:
+            grounding = GroundingOptions()
+        if budget is None:
+            budget = SearchBudget()
+        if maintenance is None:
+            maintenance = MaintenanceConfig()
         self.program = program
         self.component = component
         self._grounding_options = grounding

@@ -59,18 +59,54 @@ class KnowledgeBase:
 
     def __init__(
         self,
-        grounding: GroundingOptions = GroundingOptions(),
-        budget: SearchBudget = SearchBudget(),
-        maintenance: MaintenanceConfig = MaintenanceConfig(),
+        grounding: Optional[GroundingOptions] = None,
+        budget: Optional[SearchBudget] = None,
+        maintenance: Optional[MaintenanceConfig] = None,
     ) -> None:
         self._rules: dict[str, list[Rule]] = {}
         self._pairs: set[tuple[str, str]] = set()
-        self._grounding = grounding
-        self._budget = budget
-        self._maintenance = maintenance
+        self._grounding = grounding if grounding is not None else GroundingOptions()
+        self._budget = budget if budget is not None else SearchBudget()
+        self._maintenance = (
+            maintenance if maintenance is not None else MaintenanceConfig()
+        )
         self._semantics_cache: dict[str, OrderedSemantics] = {}
         #: Fact deltas queued per cached view, flushed on next read.
         self._pending: dict[str, list[tuple[str, str, Literal]]] = {}
+
+    @classmethod
+    def from_program(
+        cls,
+        program: OrderedProgram,
+        grounding: Optional[GroundingOptions] = None,
+        budget: Optional[SearchBudget] = None,
+        maintenance: Optional[MaintenanceConfig] = None,
+    ) -> "KnowledgeBase":
+        """A mutable knowledge base over an existing ordered program.
+
+        The program's components become objects and its order relation
+        the isa hierarchy, verbatim (no implicit ``_defaults`` linking),
+        so ``kb.program()`` round-trips to an order-equivalent program.
+        """
+        kb = cls(grounding=grounding, budget=budget, maintenance=maintenance)
+        kb._rules = {c.name: list(c.rules) for c in program.components()}
+        kb._pairs = set(program.order.pairs())
+        return kb
+
+    # ------------------------------------------------------------------
+    # Configuration (read-only; the option objects are frozen)
+    # ------------------------------------------------------------------
+    @property
+    def grounding(self) -> GroundingOptions:
+        return self._grounding
+
+    @property
+    def budget(self) -> SearchBudget:
+        return self._budget
+
+    @property
+    def maintenance(self) -> MaintenanceConfig:
+        return self._maintenance
 
     # ------------------------------------------------------------------
     # Mutation
@@ -243,6 +279,12 @@ class KnowledgeBase:
     # ------------------------------------------------------------------
     def _poset(self) -> PartialOrder:
         return PartialOrder(self._rules.keys(), self._pairs)
+
+    def seers(self, name: str) -> frozenset[str]:
+        """Objects whose point of view sees ``name`` (``name ∈ C*``) —
+        exactly the views a mutation of ``name`` can change."""
+        self._require(name)
+        return self._poset().downset(name)
 
     def _seeing_views(self, name: str) -> list[str]:
         """Cached views whose ``C*`` contains ``name`` — exactly the

@@ -25,7 +25,7 @@ from ..lang.errors import QueryError
 from ..lang.literals import Literal
 from ..lang.parser import parse_literal
 
-__all__ = ["QueryMode", "Answer", "evaluate_query"]
+__all__ = ["QueryMode", "Answer", "evaluate_query", "answers_in"]
 
 
 class QueryMode(enum.Enum):
@@ -56,6 +56,22 @@ def _entailed_sets(
         # and the AF family is finite), so this is defensive only.
         return [semantics.least_model]
     return stable
+
+
+def answers_in(
+    interp: Interpretation, pattern: Union[Literal, str]
+) -> list[Answer]:
+    """All matches of a literal pattern in one interpretation.
+
+    This is cautious entailment against an already-materialized model —
+    the lock-free read path of the query server evaluates patterns
+    against published snapshot models through this function, without
+    touching an :class:`OrderedSemantics`.
+    """
+    if isinstance(pattern, str):
+        pattern = parse_literal(pattern)
+    answers = [Answer(lit, bindings) for lit, bindings in _matches(interp, pattern)]
+    return sorted(answers, key=lambda a: str(a.literal))
 
 
 def evaluate_query(

@@ -21,8 +21,9 @@ Schema (stable, versioned by ``FORMAT_VERSION``):
 
 from __future__ import annotations
 
+import dataclasses
 import json
-from typing import Any, Union
+from typing import TYPE_CHECKING, Any, Union
 
 from .core.interpretation import Interpretation
 from .lang.builtins import ArithExpr, BinaryOp, Comparison
@@ -31,6 +32,9 @@ from .lang.literals import Atom, Literal
 from .lang.program import Component, OrderedProgram
 from .lang.rules import BodyItem, Rule
 from .lang.terms import Compound, Constant, Term, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kb.knowledge_base import KnowledgeBase
 
 __all__ = [
     "FORMAT_VERSION",
@@ -46,6 +50,10 @@ __all__ = [
     "interpretation_from_dict",
     "dumps_program",
     "loads_program",
+    "kb_to_dict",
+    "kb_from_dict",
+    "dumps_kb",
+    "loads_kb",
 ]
 
 FORMAT_VERSION = 1
@@ -235,3 +243,74 @@ def interpretation_from_dict(data: dict[str, Any]) -> Interpretation:
     except (KeyError, TypeError) as error:
         raise SerializationError(f"bad interpretation payload: {error}") from error
     return Interpretation(literals, base or None)
+
+
+# ----------------------------------------------------------------------
+# Knowledge bases (state snapshot / restore for the query server)
+# ----------------------------------------------------------------------
+
+def kb_to_dict(kb: "KnowledgeBase") -> dict[str, Any]:
+    """A full :class:`~repro.kb.knowledge_base.KnowledgeBase` snapshot:
+    every object's told rules, the raw isa order, and the engine
+    configuration — everything :func:`kb_from_dict` needs to rebuild an
+    equivalent instance (cached views are derived state and excluded)."""
+    program = kb.program()
+    return {
+        "format": FORMAT_VERSION,
+        "objects": {
+            comp.name: [rule_to_dict(r) for r in comp.rules]
+            for comp in program.components()
+        },
+        "order": sorted(list(pair) for pair in program.order.pairs()),
+        "config": {
+            "grounding": dataclasses.asdict(kb.grounding),
+            "budget": dataclasses.asdict(kb.budget),
+            "maintenance": dataclasses.asdict(kb.maintenance),
+        },
+    }
+
+
+def kb_from_dict(data: dict[str, Any]) -> "KnowledgeBase":
+    """Rebuild a knowledge base from its :func:`kb_to_dict` payload."""
+    from .core.maintenance import MaintenanceConfig
+    from .core.solver import SearchBudget
+    from .grounding.grounder import GroundingOptions
+    from .kb.knowledge_base import KnowledgeBase
+
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    config = data.get("config", {})
+    try:
+        components = [
+            Component(name, [rule_from_dict(r) for r in rules])
+            for name, rules in data["objects"].items()
+        ]
+        order = [(low, high) for low, high in data.get("order", [])]
+        grounding = GroundingOptions(**config.get("grounding", {}))
+        budget = SearchBudget(**config.get("budget", {}))
+        maintenance = MaintenanceConfig(**config.get("maintenance", {}))
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"bad knowledge-base payload: {error}") from error
+    return KnowledgeBase.from_program(
+        OrderedProgram(components, order),
+        grounding=grounding,
+        budget=budget,
+        maintenance=maintenance,
+    )
+
+
+def dumps_kb(kb: "KnowledgeBase", indent: Union[int, None] = 2) -> str:
+    """Serialize a knowledge base to a JSON string."""
+    return json.dumps(kb_to_dict(kb), indent=indent, sort_keys=True)
+
+
+def loads_kb(text: str) -> "KnowledgeBase":
+    """Rebuild a knowledge base from its JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return kb_from_dict(data)

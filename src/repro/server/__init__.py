@@ -1,0 +1,57 @@
+"""Concurrent query server: snapshot-isolated reads over a
+single-writer delta pipeline.
+
+Section 5 of the paper pitches ordered logic as the kernel of an
+interactive knowledge base *system*; this subsystem is that system's
+serving layer.  A :class:`~repro.server.engine.ServerEngine` owns one
+:class:`~repro.kb.knowledge_base.KnowledgeBase` and splits traffic:
+
+* **reads** (``query`` / ``ask``) execute lock-free against immutable
+  published :class:`~repro.server.engine.Snapshot` objects, each
+  carrying a monotonically increasing version and materialized least
+  models — a reader never waits on the write pipeline;
+* **writes** (``tell`` / ``retract`` / ``define``) funnel through a
+  bounded single-writer queue that coalesces queued mutations into
+  batches, applies them through the incremental maintenance engine
+  (``OrderedSemantics.apply_ops`` via the knowledge base's delta
+  queue), and atomically publishes the next snapshot version.
+
+:class:`~repro.server.service.QueryServer` exposes the engine over TCP
+with a newline-delimited-JSON protocol (:mod:`repro.server.protocol`),
+admission control (bounded queue, per-request deadlines, overload
+shedding) and graceful drain on shutdown.  ``olp serve`` is the CLI
+entry point; see ``docs/server.md``.
+"""
+
+from .engine import ServerConfig, ServerEngine, Snapshot
+from .protocol import (
+    ERROR_CODES,
+    OPS,
+    READ_OPS,
+    WRITE_OPS,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .service import QueryServer, run_server
+
+__all__ = [
+    "ServerConfig",
+    "ServerEngine",
+    "Snapshot",
+    "QueryServer",
+    "run_server",
+    "Request",
+    "ProtocolError",
+    "parse_request",
+    "encode",
+    "ok_response",
+    "error_response",
+    "OPS",
+    "READ_OPS",
+    "WRITE_OPS",
+    "ERROR_CODES",
+]

@@ -1,0 +1,588 @@
+"""The serving core: snapshot publication and the single-writer pipeline.
+
+Concurrency model (``docs/server.md``):
+
+* The engine owns the canonical :class:`~repro.kb.knowledge_base.KnowledgeBase`.
+  Only the writer task mutates it, and every mutation block runs
+  synchronously between two awaits, so readers never observe a
+  half-applied batch.
+* After each batch the writer *publishes* a new :class:`Snapshot`:
+  an immutable program plus materialized least models
+  (:class:`~repro.core.interpretation.Interpretation` instances, which
+  are immutable) for the views the batch touched and structural sharing
+  of every untouched view's model from the previous snapshot.  Readers
+  capture ``engine.snapshot`` once and answer from it without ever
+  waiting on the writer — a reader that is pre-empted by a publish
+  keeps answering at its captured version (snapshot isolation).
+* Writes are admitted into a bounded :class:`asyncio.Queue`; a full
+  queue sheds the request with an ``overloaded`` error instead of
+  building unbounded backlog.  The writer coalesces everything queued
+  (up to ``max_batch`` requests) into one batch, applies it through the
+  knowledge base's delta queue — so all of a batch's fact mutations
+  reach ``OrderedSemantics.apply_ops`` as one coalesced op list per
+  affected view — and bumps the published version once per batch.
+
+The differential property suite
+(``tests/properties/test_server_differential.py``) replays randomized
+concurrent client traces and asserts the published snapshots and query
+answers are bit-identical to a serialized oracle replaying the same
+batches on a plain knowledge base.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.interpretation import Interpretation
+from ..core.maintenance import MaintenanceConfig
+from ..core.semantics import OrderedSemantics
+from ..core.solver import SearchBudget
+from ..grounding.grounder import GroundingOptions
+from ..kb.knowledge_base import KnowledgeBase
+from ..kb.query import answers_in, evaluate_query
+from ..lang.errors import ReproError
+from ..lang.program import OrderedProgram
+from ..obs import get_instrumentation
+from . import protocol
+from .protocol import Request
+
+__all__ = ["ServerConfig", "Snapshot", "ServerEngine"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Admission-control and pipeline knobs.
+
+    Attributes:
+        max_queue: bound of the write queue; a full queue sheds new
+            writes with ``overloaded`` (admission control).
+        max_batch: most write requests coalesced into one published
+            version.  1 degenerates to the one-op-per-apply path (the
+            benchmark baseline).
+        default_deadline_ms: deadline applied to requests that do not
+            carry their own ``deadline_ms``; None means unbounded.
+        refresh_hot_views: eagerly re-materialize, at publish time, the
+            views that were materialized in the previous snapshot and
+            affected by the batch — keeps hot-view reads O(lookup).
+        keep_history: record every published snapshot and the batch
+            that produced it (``engine.history``) — the differential
+            harness's oracle input.  Unbounded memory; tests only.
+    """
+
+    max_queue: int = 256
+    max_batch: int = 64
+    default_deadline_ms: Optional[float] = None
+    refresh_hot_views: bool = True
+    keep_history: bool = False
+
+
+class Snapshot:
+    """One published, immutable version of the knowledge base.
+
+    Readers answer cautious queries from :attr:`models` (materialized
+    least models).  A view missing from the map is materialized on
+    first read — from the writer's incrementally-maintained view when
+    this snapshot is still current, from :attr:`program` otherwise —
+    and pinned, so every later read at this version is a lookup.
+    """
+
+    __slots__ = (
+        "version",
+        "program",
+        "published_at",
+        "_grounding",
+        "_budget",
+        "models",
+        "_sems",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        program: OrderedProgram,
+        grounding: GroundingOptions,
+        budget: SearchBudget,
+        models: Optional[dict[str, Interpretation]] = None,
+        sems: Optional[dict[str, OrderedSemantics]] = None,
+    ) -> None:
+        self.version = version
+        self.program = program
+        self.published_at = time.monotonic()
+        self._grounding = grounding
+        self._budget = budget
+        self.models: dict[str, Interpretation] = models if models is not None else {}
+        self._sems: dict[str, OrderedSemantics] = sems if sems is not None else {}
+
+    def age(self, now: Optional[float] = None) -> float:
+        return (now if now is not None else time.monotonic()) - self.published_at
+
+    def semantics(self, view: str) -> OrderedSemantics:
+        """Snapshot-local semantics of one view, built from the
+        immutable program (never the writer's mutable state)."""
+        sem = self._sems.get(view)
+        if sem is None:
+            sem = OrderedSemantics(
+                self.program,
+                view,
+                grounding=self._grounding,
+                budget=self._budget,
+                maintenance=MaintenanceConfig(enabled=False),
+            )
+            self._sems[view] = sem
+        return sem
+
+    def materialize(self, view: str) -> Interpretation:
+        """The least model of one view at this version (computed from
+        the snapshot program on first call, then pinned)."""
+        interp = self.models.get(view)
+        if interp is None:
+            interp = self.semantics(view).least_model
+            self.models[view] = interp
+        return interp
+
+
+class _Latency:
+    """Always-on, allocation-free latency aggregate for ``stats``."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_s": self.total / self.count if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class _WriteItem:
+    __slots__ = ("request", "future")
+
+    def __init__(self, request: Request, future: "asyncio.Future[dict]") -> None:
+        self.request = request
+        self.future = future
+
+
+_SENTINEL = object()
+
+
+class ServerEngine:
+    """Serves protocol requests over one knowledge base.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`aclose` explicitly.  :meth:`handle` is the single entry
+    point for every request (the TCP service, benchmarks and tests all
+    drive it directly).
+    """
+
+    def __init__(
+        self, kb: Optional[KnowledgeBase] = None, config: Optional[ServerConfig] = None
+    ) -> None:
+        self.kb = kb if kb is not None else KnowledgeBase()
+        self.config = config if config is not None else ServerConfig()
+        self.started_at = time.monotonic()
+        self.shutdown_requested = asyncio.Event()
+        self.history: list[tuple[Snapshot, list[Request]]] = []
+        self._version = 0
+        self._snapshot = Snapshot(
+            0, self.kb.program(), self.kb.grounding, self.kb.budget
+        )
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._writer_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._closed = False
+        # Always-on serving stats (the `stats` op must work with the
+        # obs registry in its default disabled state).
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._batches = 0
+        self._ops_applied = 0
+        self._max_batch_seen = 0
+        self._read_latency = _Latency()
+        self._write_latency = _Latency()
+        if self.config.keep_history:
+            self.history.append((self._snapshot, []))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServerEngine":
+        if self._writer_task is None:
+            self._writer_task = asyncio.ensure_future(self._writer_loop())
+            get_instrumentation().event("server.start")
+        return self
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: stop admitting writes, drain the queue,
+        publish what was in flight, stop the writer."""
+        if self._closed:
+            return
+        self._draining = True
+        if self._writer_task is not None:
+            await self._queue.put(_SENTINEL)
+            await self._writer_task
+            self._writer_task = None
+        self._closed = True
+        get_instrumentation().event("server.stop", version=self._version)
+
+    async def __aenter__(self) -> "ServerEngine":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    @property
+    def snapshot(self) -> Snapshot:
+        """The latest published snapshot (atomically swapped)."""
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def handle(self, request: Request) -> dict:
+        """Execute one validated request; returns the response payload."""
+        self._requests[request.op] = self._requests.get(request.op, 0) + 1
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.count("server.requests")
+            obs.count(f"server.requests.{request.op}")
+        if request.op == "health":
+            return self._health(request)
+        if request.op == "stats":
+            return protocol.ok_response(request.id, self._version, self.stats())
+        if request.op == "shutdown":
+            self.shutdown_requested.set()
+            return protocol.ok_response(
+                request.id, self._version, {"draining": True}
+            )
+        if self._closed:
+            return self._error(
+                request, protocol.SHUTTING_DOWN, "server is shut down"
+            )
+        if request.op in protocol.WRITE_OPS:
+            return await self._write(request)
+        return self._read(request)
+
+    def _error(
+        self,
+        request: Request,
+        code: str,
+        message: str,
+        version: Optional[int] = None,
+        **extra: Any,
+    ) -> dict:
+        self._errors[code] = self._errors.get(code, 0) + 1
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.count(f"server.errors.{code}")
+        return protocol.error_response(request.id, code, message, version, **extra)
+
+    # ------------------------------------------------------------------
+    # Read path (lock-free: never touches the write queue)
+    # ------------------------------------------------------------------
+    def _read(self, request: Request) -> dict:
+        snap = self._snapshot
+        now = time.monotonic()
+        if request.expired(now):
+            return self._error(
+                request, protocol.TIMEOUT, "deadline expired before execution"
+            )
+        view, pattern = request.view, request.pattern
+        assert view is not None and pattern is not None  # parse_request guarantees
+        t0 = time.perf_counter()
+        try:
+            if request.mode == "cautious":
+                interp = self._model_at(snap, view)
+                answers = answers_in(interp, pattern)
+            else:
+                sem = self._semantics_at(snap, view)
+                answers = evaluate_query(sem, pattern, request.mode)
+        except ReproError as error:
+            return self._error(
+                request, protocol.SEMANTICS, str(error), snap.version
+            )
+        elapsed = time.perf_counter() - t0
+        self._read_latency.observe(elapsed)
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.observe("server.latency.read", elapsed)
+            obs.observe("server.snapshot_age", snap.age(now))
+        if request.op == "ask":
+            result: dict[str, Any] = {"holds": bool(answers)}
+        else:
+            result = {
+                "answers": [
+                    {
+                        "literal": str(a.literal),
+                        "bindings": {
+                            str(v): str(t) for v, t in a.bindings.items()
+                        },
+                    }
+                    for a in answers
+                ],
+                "count": len(answers),
+                "mode": request.mode,
+            }
+        return protocol.ok_response(request.id, snap.version, result)
+
+    def _model_at(self, snap: Snapshot, view: str) -> Interpretation:
+        interp = snap.models.get(view)
+        if interp is not None:
+            return interp
+        if snap is self._snapshot:
+            # Latest snapshot: warm the view through the writer KB so
+            # it joins the incremental maintenance set, then pin the
+            # (immutable) model into the snapshot.
+            interp = self.kb.view(view).least_model
+            snap.models[view] = interp
+            return interp
+        return snap.materialize(view)
+
+    def _semantics_at(self, snap: Snapshot, view: str) -> OrderedSemantics:
+        if snap is self._snapshot:
+            return self.kb.view(view)
+        return snap.semantics(view)
+
+    def _health(self, request: Request) -> dict:
+        return protocol.ok_response(
+            request.id,
+            self._version,
+            {
+                "status": "draining" if self._draining else "ok",
+                "uptime_s": time.monotonic() - self.started_at,
+                "snapshot_age_s": self._snapshot.age(),
+                "queue_depth": self._queue.qsize(),
+            },
+        )
+
+    def stats(self) -> dict:
+        """The ``stats`` result: serving counters plus pipeline state."""
+        return {
+            "version": self._version,
+            "uptime_s": time.monotonic() - self.started_at,
+            "snapshot_age_s": self._snapshot.age(),
+            "queue_depth": self._queue.qsize(),
+            "draining": self._draining,
+            "objects": len(self.kb.objects),
+            "views_materialized": len(self._snapshot.models),
+            "requests": dict(sorted(self._requests.items())),
+            "errors": dict(sorted(self._errors.items())),
+            "writes": {
+                "batches": self._batches,
+                "ops": self._ops_applied,
+                "max_batch": self._max_batch_seen,
+                "mean_batch": (
+                    self._ops_applied / self._batches if self._batches else 0.0
+                ),
+            },
+            "latency": {
+                "read": self._read_latency.as_dict(),
+                "write": self._write_latency.as_dict(),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Write path (single-writer pipeline)
+    # ------------------------------------------------------------------
+    async def _write(self, request: Request) -> dict:
+        if self._draining:
+            return self._error(
+                request, protocol.SHUTTING_DOWN, "server is draining"
+            )
+        future: asyncio.Future[dict] = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(_WriteItem(request, future))
+        except asyncio.QueueFull:
+            return self._error(
+                request,
+                protocol.OVERLOADED,
+                f"write queue full ({self.config.max_queue} pending)",
+                queue_depth=self._queue.qsize(),
+            )
+        return await future
+
+    async def _writer_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is _SENTINEL:
+                break
+            batch = [item]
+            stop = False
+            while len(batch) < self.config.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _SENTINEL:
+                    stop = True
+                    break
+                batch.append(nxt)
+            try:
+                self._apply_batch(batch)
+            except Exception as error:  # defensive: never strand futures
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_result(
+                            self._error(
+                                item.request,
+                                protocol.INTERNAL,
+                                f"writer failure: {error!r}",
+                            )
+                        )
+            if stop:
+                break
+
+    def _apply_batch(self, batch: list[_WriteItem]) -> None:
+        """Apply one coalesced batch and publish the next version.
+
+        Runs synchronously (no awaits): readers and other writers never
+        observe a half-applied batch.  Each request in the batch is
+        applied independently — a rejected mutation turns into an error
+        reply without poisoning the rest of the batch.
+        """
+        t0 = time.perf_counter()
+        now = time.monotonic()
+        applied: list[_WriteItem] = []
+        errors: list[tuple[_WriteItem, dict]] = []
+        for item in batch:
+            request = item.request
+            if request.expired(now):
+                errors.append(
+                    (
+                        item,
+                        self._error(
+                            request,
+                            protocol.TIMEOUT,
+                            "deadline expired in the write queue",
+                        ),
+                    )
+                )
+                continue
+            try:
+                self._apply_one(request)
+            except ReproError as error:
+                errors.append(
+                    (
+                        item,
+                        self._error(
+                            request, protocol.SEMANTICS, str(error), self._version
+                        ),
+                    )
+                )
+            else:
+                applied.append(item)
+        if applied:
+            self._publish([item.request for item in applied])
+        elapsed = time.perf_counter() - t0
+        self._write_latency.observe(elapsed)
+        version = self._version
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.observe("server.latency.write", elapsed)
+        for item in applied:
+            if not item.future.done():
+                item.future.set_result(
+                    protocol.ok_response(
+                        item.request.id, version, {"applied": item.request.op}
+                    )
+                )
+        for item, payload in errors:
+            if not item.future.done():
+                item.future.set_result(payload)
+
+    def _apply_one(self, request: Request) -> None:
+        view = request.view
+        assert view is not None  # parse_request guarantees per-op fields
+        if request.op == "tell":
+            assert request.rules is not None
+            self.kb.tell(view, request.rules)
+        elif request.op == "retract":
+            assert request.rules is not None
+            self.kb.retract(view, request.rules)
+        else:
+            # ``rules`` is optional for define: an empty object is legal.
+            self.kb.define(view, request.rules or (), isa=request.isa)
+
+    def _publish(self, applied: list[Request]) -> None:
+        """Atomically publish the next snapshot version.
+
+        Untouched views share the previous snapshot's materialized
+        models (structural sharing); touched hot views are repaired
+        through the delta engine (``kb.view`` flushes the batch's
+        coalesced ops into one ``apply_ops`` call per view) and
+        re-materialized.
+        """
+        prev = self._snapshot
+        affected: set[str] = set()
+        for request in applied:
+            view = request.view
+            assert view is not None
+            if request.op == "define":
+                affected.add(view)
+            else:
+                affected |= self.kb.seers(view)
+        models = {
+            view: m for view, m in prev.models.items() if view not in affected
+        }
+        sems = {
+            view: s for view, s in prev._sems.items() if view not in affected
+        }
+        if self.config.refresh_hot_views:
+            for view in prev.models:
+                if view in affected and view in self.kb.objects:
+                    try:
+                        models[view] = self.kb.view(view).least_model
+                    except ReproError:
+                        # The view is now erroneous (e.g. inconsistent);
+                        # readers get the error lazily instead of the
+                        # publish failing the whole batch.
+                        models.pop(view, None)
+        self._version += 1
+        snapshot = Snapshot(
+            self._version,
+            self.kb.program(),
+            self.kb.grounding,
+            self.kb.budget,
+            models,
+            sems,
+        )
+        self._snapshot = snapshot
+        self._batches += 1
+        self._ops_applied += len(applied)
+        if len(applied) > self._max_batch_seen:
+            self._max_batch_seen = len(applied)
+        if self.config.keep_history:
+            self.history.append((snapshot, list(applied)))
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.count("server.publishes")
+            obs.observe("server.batch_size", len(applied))
+            obs.gauge("server.version", self._version)
+            obs.observe("server.snapshot_age", prev.age())
+            obs.event(
+                "server.publish",
+                version=self._version,
+                batch=len(applied),
+                affected_views=len(affected),
+            )

@@ -1,0 +1,240 @@
+"""The newline-delimited-JSON wire protocol of the query server.
+
+One request per line, one response line per request, both JSON objects.
+Requests carry a client-chosen ``id`` echoed verbatim in the response,
+an ``op``, and per-op fields:
+
+========  =====================================================markdown
+op        fields
+========  =====================================================
+query     ``view`` (object name), ``pattern`` (literal pattern,
+          e.g. ``"fly(X)"``), optional ``mode``
+          (``cautious``/``skeptical``/``credulous``)
+ask       ``view``, ``pattern`` — boolean entailment
+tell      ``view``, ``rules`` (surface-syntax rules/facts)
+retract   ``view``, ``rules`` (ground facts previously told)
+define    ``view`` (the new object's name), optional ``rules``,
+          optional ``isa`` (list of parent object names)
+stats     —
+health    —
+shutdown  — request a graceful drain-and-stop
+========  =====================================================
+
+Every request also accepts ``deadline_ms``: a relative per-request
+deadline; work not *started* before it expires is shed with a
+``timeout`` error.
+
+Responses are ``{"id": ..., "ok": true, "version": v, "result": {...}}``
+or ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``.
+``version`` is the snapshot version a read was answered at, or the
+version a mutation became visible at.  Error codes:
+
+* ``bad_request`` — malformed JSON, unknown op, missing/ill-typed field;
+* ``semantics`` — the engine rejected the request
+  (:class:`~repro.lang.errors.ReproError`: unknown object, parse error,
+  retracting a never-told fact, ...);
+* ``overloaded`` — the bounded write queue is full (admission control);
+  retry with backoff;
+* ``timeout`` — the per-request deadline expired before execution;
+* ``shutting_down`` — the server is draining and no longer admits work;
+* ``internal`` — unexpected failure (a bug; details in the message).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+__all__ = [
+    "OPS",
+    "READ_OPS",
+    "WRITE_OPS",
+    "ADMIN_OPS",
+    "ERROR_CODES",
+    "BAD_REQUEST",
+    "SEMANTICS",
+    "OVERLOADED",
+    "TIMEOUT",
+    "SHUTTING_DOWN",
+    "INTERNAL",
+    "MODES",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "request_id_of",
+    "ok_response",
+    "error_response",
+    "encode",
+]
+
+READ_OPS = frozenset({"query", "ask"})
+WRITE_OPS = frozenset({"tell", "retract", "define"})
+ADMIN_OPS = frozenset({"stats", "health", "shutdown"})
+OPS = READ_OPS | WRITE_OPS | ADMIN_OPS
+
+MODES = ("cautious", "skeptical", "credulous")
+
+BAD_REQUEST = "bad_request"
+SEMANTICS = "semantics"
+OVERLOADED = "overloaded"
+TIMEOUT = "timeout"
+SHUTTING_DOWN = "shutting_down"
+INTERNAL = "internal"
+ERROR_CODES = frozenset(
+    {BAD_REQUEST, SEMANTICS, OVERLOADED, TIMEOUT, SHUTTING_DOWN, INTERNAL}
+)
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be admitted: malformed JSON, unknown op,
+    or a missing / ill-typed field.  Maps to the ``bad_request`` code."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated protocol request.
+
+    ``arrived_at`` is the monotonic admission time; together with
+    ``deadline_ms`` it defines the absolute deadline after which the
+    request is shed instead of executed.
+    """
+
+    op: str
+    id: Any = None
+    view: Optional[str] = None
+    pattern: Optional[str] = None
+    mode: str = "cautious"
+    rules: Optional[str] = None
+    isa: tuple[str, ...] = ()
+    deadline_ms: Optional[float] = None
+    arrived_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute monotonic deadline, or None when unbounded."""
+        if self.deadline_ms is None:
+            return None
+        return self.arrived_at + self.deadline_ms / 1000.0
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        deadline = self.deadline
+        if deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) > deadline
+
+
+def _require_str(data: dict, key: str, op: str) -> str:
+    value = data.get(key)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"op {op!r} requires a non-empty string {key!r}")
+    return value
+
+
+def parse_request(
+    raw: Union[str, bytes, dict], *, default_deadline_ms: Optional[float] = None
+) -> Request:
+    """Validate one request line (or an already-decoded object).
+
+    Raises:
+        ProtocolError: on malformed JSON, an unknown op, or a missing /
+            ill-typed per-op field.
+    """
+    if isinstance(raw, (str, bytes)):
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"invalid JSON: {error}") from error
+    else:
+        data = raw
+    if not isinstance(data, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = data.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {sorted(OPS)}")
+
+    view = pattern = rules = None
+    isa: tuple[str, ...] = ()
+    mode = data.get("mode", "cautious")
+    if mode not in MODES:
+        raise ProtocolError(f"unknown mode {mode!r}; expected one of {MODES}")
+    if op in READ_OPS:
+        view = _require_str(data, "view", op)
+        pattern = _require_str(data, "pattern", op)
+    elif op in ("tell", "retract"):
+        view = _require_str(data, "view", op)
+        rules = _require_str(data, "rules", op)
+    elif op == "define":
+        view = _require_str(data, "view", op)
+        rules = data.get("rules", "")
+        if not isinstance(rules, str):
+            raise ProtocolError("op 'define' field 'rules' must be a string")
+        raw_isa = data.get("isa", [])
+        if not isinstance(raw_isa, list) or not all(
+            isinstance(p, str) for p in raw_isa
+        ):
+            raise ProtocolError("op 'define' field 'isa' must be a list of strings")
+        isa = tuple(raw_isa)
+
+    deadline_ms = data.get("deadline_ms", default_deadline_ms)
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, (int, float)) or deadline_ms < 0
+    ):
+        raise ProtocolError("'deadline_ms' must be a non-negative number")
+
+    return Request(
+        op=op,
+        id=data.get("id"),
+        view=view,
+        pattern=pattern,
+        mode=mode,
+        rules=rules,
+        isa=isa,
+        deadline_ms=deadline_ms,
+    )
+
+
+def request_id_of(raw: Union[str, bytes]) -> Any:
+    """Best-effort ``id`` extraction from a possibly-malformed line, so
+    error replies can still be correlated by the client."""
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(data, dict):
+        return data.get("id")
+    return None
+
+
+def ok_response(
+    request_id: Any, version: Optional[int] = None, result: Optional[dict] = None
+) -> dict:
+    payload: dict[str, Any] = {"id": request_id, "ok": True}
+    if version is not None:
+        payload["version"] = version
+    payload["result"] = result if result is not None else {}
+    return payload
+
+
+def error_response(
+    request_id: Any,
+    code: str,
+    message: str,
+    version: Optional[int] = None,
+    **extra: Any,
+) -> dict:
+    assert code in ERROR_CODES, code
+    payload: dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message, **extra},
+    }
+    if version is not None:
+        payload["version"] = version
+    return payload
+
+
+def encode(payload: dict) -> bytes:
+    """One response line, newline-terminated."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

@@ -1,0 +1,174 @@
+"""The asyncio TCP front end of the query server.
+
+One :class:`QueryServer` wraps a :class:`~repro.server.engine.ServerEngine`
+behind ``asyncio.start_server``.  Each connection is an independent
+newline-delimited-JSON session: requests are answered in order per
+connection, while connections interleave freely (reads are lock-free
+against published snapshots; writes serialize through the engine's
+single-writer pipeline).
+
+Shutdown is graceful: a ``shutdown`` request (or :meth:`QueryServer.aclose`)
+stops the listener, lets in-flight connection handlers finish their
+current request with a ``shutting_down`` reply for anything newly
+admitted, drains the write queue, and publishes what was in flight
+before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..obs import get_instrumentation
+from . import protocol
+from .engine import ServerConfig, ServerEngine
+from .protocol import ProtocolError
+
+__all__ = ["QueryServer", "run_server"]
+
+
+class QueryServer:
+    """NDJSON-over-TCP front end for a :class:`ServerEngine`."""
+
+    def __init__(
+        self,
+        engine: ServerEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.Task] = set()
+        self._closed = False
+
+    async def start(self) -> "QueryServer":
+        await self.engine.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        get_instrumentation().event(
+            "server.listening", host=self.host, port=self.port
+        )
+        return self
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a client sends ``shutdown`` (or the engine's
+        shutdown event is set programmatically), then drain and stop."""
+        await self.engine.shutdown_requested.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Graceful drain: stop accepting, finish open connections,
+        drain the write pipeline."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            # Connections normally close themselves after their last
+            # reply; cap the wait so an idle client that never hangs up
+            # cannot stall the drain forever.
+            done, pending = await asyncio.wait(
+                set(self._connections), timeout=5.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self.engine.aclose()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                payload = await self._respond(line)
+                try:
+                    writer.write(protocol.encode(payload))
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                # Once a drain has been requested the current reply is
+                # the connection's last; closing lets aclose proceed.
+                if self.engine.shutdown_requested.is_set():
+                    break
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict:
+        try:
+            request = protocol.parse_request(
+                line,
+                default_deadline_ms=self.engine.config.default_deadline_ms,
+            )
+        except ProtocolError as error:
+            return protocol.error_response(
+                protocol.request_id_of(line), protocol.BAD_REQUEST, str(error)
+            )
+        try:
+            return await self.engine.handle(request)
+        except Exception as error:  # defensive: a reply beats a hang
+            return protocol.error_response(
+                request.id, protocol.INTERNAL, f"unhandled failure: {error!r}"
+            )
+
+
+async def run_server(
+    kb,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[ServerConfig] = None,
+    ready: Optional[asyncio.Event] = None,
+) -> None:
+    """Serve one knowledge base until a client requests shutdown.
+
+    The CLI entry point (``olp serve``).  ``ready`` (if given) is set
+    once the listener is bound — test harnesses use it to know when to
+    connect.
+    """
+    engine = ServerEngine(kb, config)
+    server = QueryServer(engine, host, port)
+    await server.start()
+    if ready is not None:
+        ready.set()
+    print(f"olp serve: listening on {server.host}:{server.port}", flush=True)
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.aclose()
+    print(
+        f"olp serve: drained and stopped at version {engine.version}", flush=True
+    )

@@ -1,8 +1,9 @@
 """Workload generators: the paper's programs, scalable hierarchies,
 classic deductive-database programs, and seeded random programs."""
 
-from . import classic, experts, hierarchies, paper, random_programs, sessions
+from . import classic, clients, experts, hierarchies, paper, random_programs, sessions
 from .classic import ancestor_chain, even_odd, two_stable, win_move
+from .clients import build_server_kb, client_traces, replay_traces
 from .experts import contradicting_panel, expert_panel
 from .hierarchies import diamond, override_chain, release_chain, taxonomy
 from .random_programs import (
@@ -26,6 +27,10 @@ __all__ = [
     "hierarchies",
     "random_programs",
     "sessions",
+    "clients",
+    "client_traces",
+    "replay_traces",
+    "build_server_kb",
     "interactive_session",
     "session_program",
     "session_ops",

@@ -1,0 +1,142 @@
+"""Mixed read/write client traces for the query server.
+
+Extends the ``interactive_session`` workload (docs/maintenance.md) to
+the serving layer: :func:`client_traces` produces per-client streams of
+protocol request dicts (docs/server.md) over the same membership
+registry hierarchy, and :func:`replay_traces` drives them concurrently
+against a :class:`~repro.server.engine.ServerEngine`, interleaving
+clients at await points the way a real socket front end would.
+
+The traces are deterministic per seed — the server differential suite
+replays them against a serialized single-threaded oracle — and include
+a small fraction of invalid retracts (facts never told) to exercise
+per-request error isolation inside coalesced write batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import TYPE_CHECKING, Sequence
+
+from .sessions import _entities, build_session_kb
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..server.engine import ServerEngine
+
+__all__ = ["client_traces", "replay_traces", "build_server_kb"]
+
+#: Entity constant that is never told anywhere: retracting a fact about
+#: it is guaranteed to be rejected with a ``semantics`` error.
+GHOST = "ghost"
+
+build_server_kb = build_session_kb
+
+
+def client_traces(
+    depth: int = 4,
+    n_entities: int = 8,
+    n_clients: int = 4,
+    ops_per_client: int = 25,
+    seed: int = 0xC11E,
+    read_fraction: float = 0.5,
+    invalid_fraction: float = 0.05,
+) -> list[list[dict]]:
+    """Per-client request streams over the session hierarchy.
+
+    Each request is a protocol dict carrying a unique ``id``
+    (``"c<client>-<index>"``).  The mix per op: ``read_fraction``
+    queries/asks; the rest splits ~2:1 between tells and retracts of
+    previously told facts, with ``invalid_fraction`` of the retracts
+    targeting a never-told fact (expected to be rejected).
+    """
+    rng = random.Random(seed)
+    entities = _entities(n_entities)
+    patterns = ["member", "ok", "flagged", "-member", "-flagged"]
+    traces: list[list[dict]] = []
+    told: list[tuple[str, str]] = []  # shared pool across clients
+    for client in range(n_clients):
+        trace: list[dict] = []
+        for index in range(ops_per_client):
+            request_id = f"c{client}-{index}"
+            roll = rng.random()
+            if roll < read_fraction:
+                level = rng.randrange(depth)
+                pred = rng.choice(patterns)
+                arg = rng.choice(entities + ["X"])
+                op = rng.choice(["query", "ask"])
+                trace.append(
+                    {
+                        "id": request_id,
+                        "op": op,
+                        "view": f"level{level}",
+                        "pattern": f"{pred}({arg})",
+                    }
+                )
+            elif roll < read_fraction + (1 - read_fraction) * 2 / 3 or not told:
+                level = rng.randrange(depth)
+                pred = rng.choice([f"enrolled_{level}", f"sus_{level}"])
+                fact = f"{pred}({rng.choice(entities)})."
+                trace.append(
+                    {
+                        "id": request_id,
+                        "op": "tell",
+                        "view": f"level{level}",
+                        "rules": fact,
+                    }
+                )
+                told.append((f"level{level}", fact))
+            elif rng.random() < invalid_fraction:
+                level = rng.randrange(depth)
+                trace.append(
+                    {
+                        "id": request_id,
+                        "op": "retract",
+                        "view": f"level{level}",
+                        "rules": f"enrolled_{level}({GHOST}).",
+                    }
+                )
+            else:
+                view, fact = told.pop(rng.randrange(len(told)))
+                trace.append(
+                    {
+                        "id": request_id,
+                        "op": "retract",
+                        "view": view,
+                        "rules": fact,
+                    }
+                )
+        traces.append(trace)
+    return traces
+
+
+async def replay_traces(
+    engine: "ServerEngine",
+    traces: Sequence[Sequence[dict]],
+    seed: int = 0,
+    yield_probability: float = 0.5,
+) -> list[list[tuple[dict, dict]]]:
+    """Drive one concurrent client coroutine per trace.
+
+    Clients yield to the event loop between requests with the given
+    probability (seeded — interleavings are reproducible), so write
+    batches of varying size form in the engine's queue and reads land
+    at different snapshot versions.  Returns, per client, the
+    ``(request, response)`` pairs in submission order.
+    """
+    from ..server.protocol import parse_request
+
+    results: list[list[tuple[dict, dict]]] = [[] for _ in traces]
+
+    async def client(index: int, trace: Sequence[dict]) -> None:
+        rng = random.Random((seed << 8) ^ index)
+        for payload in trace:
+            if rng.random() < yield_probability:
+                await asyncio.sleep(0)
+            response = await engine.handle(parse_request(payload))
+            results[index].append((payload, response))
+
+    await asyncio.gather(
+        *(client(i, trace) for i, trace in enumerate(traces))
+    )
+    return results

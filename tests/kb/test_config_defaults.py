@@ -1,0 +1,51 @@
+"""Regression: KnowledgeBase instances must not share mutable default
+config objects (a module-level ``GroundingOptions()`` default would
+leak mutations from one KB into every other)."""
+
+from repro.core.maintenance import MaintenanceConfig
+from repro.core.semantics import OrderedSemantics
+from repro.core.solver import SearchBudget
+from repro.grounding.grounder import GroundingOptions
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.workloads.paper import figure1
+
+
+class TestPerInstanceDefaults:
+    def test_kb_defaults_are_not_shared(self):
+        a, b = KnowledgeBase(), KnowledgeBase()
+        assert a.grounding is not b.grounding
+        assert a.budget is not b.budget
+        assert a.maintenance is not b.maintenance
+
+    def test_configs_are_frozen(self):
+        # Immutability is the second line of defence: even if instances
+        # were shared, nobody could mutate one KB's config through
+        # another.  Both guarantees are asserted so a future unfreeze
+        # shows up here.
+        import dataclasses
+
+        kb = KnowledgeBase()
+        for config, field in [
+            (kb.grounding, "instance_cap"),
+            (kb.budget, "max_visited"),
+            (kb.maintenance, "enabled"),
+        ]:
+            try:
+                setattr(config, field, getattr(config, field))
+            except dataclasses.FrozenInstanceError:
+                continue
+            raise AssertionError(f"{type(config).__name__} is mutable")
+        assert kb.grounding == GroundingOptions()
+        assert kb.budget == SearchBudget()
+        assert kb.maintenance == MaintenanceConfig()
+
+    def test_explicit_configs_still_honoured(self):
+        grounding = GroundingOptions(instance_cap=99)
+        kb = KnowledgeBase(grounding=grounding)
+        assert kb.grounding is grounding
+
+    def test_semantics_defaults_are_not_shared(self):
+        a = OrderedSemantics(figure1(), "c1")
+        b = OrderedSemantics(figure1(), "c1")
+        assert a._grounding_options is not b._grounding_options
+        assert a._budget is not b._budget

@@ -1,0 +1,347 @@
+"""Engine semantics: batching, snapshot isolation, admission control,
+deadlines, stats/obs threading, graceful drain."""
+
+import asyncio
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.obs import instrumented
+from repro.server import ServerConfig, ServerEngine, parse_request
+from repro.server import protocol
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.define("bird", "fly(X) :- bird_of(X).\nbird_of(tweety).")
+    kb.define(
+        "penguin",
+        "-fly(X) :- penguin_of(X).\nbird_of(X) :- penguin_of(X).",
+        isa=["bird"],
+    )
+    return kb
+
+
+def req(**fields):
+    return parse_request(fields)
+
+
+async def started(config=None, kb=None) -> ServerEngine:
+    engine = ServerEngine(kb if kb is not None else make_kb(), config)
+    return await engine.start()
+
+
+def test_read_answers_and_version_zero():
+    async def scenario():
+        async with ServerEngine(make_kb()) as engine:
+            reply = await engine.handle(
+                req(id=1, op="query", view="penguin", pattern="bird_of(X)")
+            )
+            assert reply["ok"] and reply["version"] == 0
+            assert [a["literal"] for a in reply["result"]["answers"]] == [
+                "bird_of(tweety)"
+            ]
+            ask = await engine.handle(
+                req(id=2, op="ask", view="bird", pattern="fly(tweety)")
+            )
+            assert ask["ok"] and ask["result"]["holds"] is True
+
+    run(scenario())
+
+
+def test_write_bumps_version_and_read_sees_it():
+    async def scenario():
+        async with ServerEngine(make_kb()) as engine:
+            reply = await engine.handle(
+                req(id="w", op="tell", view="penguin", rules="penguin_of(opus).")
+            )
+            assert reply["ok"] and reply["version"] == 1
+            ask = await engine.handle(
+                req(id="r", op="ask", view="penguin", pattern="-fly(opus)")
+            )
+            assert ask["ok"] and ask["version"] == 1
+            assert ask["result"]["holds"] is True
+
+    run(scenario())
+
+
+def test_define_creates_view_and_semantics_error_reply():
+    async def scenario():
+        async with ServerEngine(make_kb()) as engine:
+            reply = await engine.handle(
+                req(
+                    id=1,
+                    op="define",
+                    view="superpenguin",
+                    rules="fly(X) :- super(X).\nsuper(clark).\npenguin_of(clark).",
+                    isa=["penguin"],
+                )
+            )
+            assert reply["ok"]
+            ask = await engine.handle(
+                req(id=2, op="ask", view="superpenguin", pattern="fly(clark)")
+            )
+            assert ask["result"]["holds"] is True
+            dup = await engine.handle(
+                req(id=3, op="define", view="superpenguin")
+            )
+            assert not dup["ok"]
+            assert dup["error"]["code"] == protocol.SEMANTICS
+            unknown = await engine.handle(
+                req(id=4, op="query", view="nope", pattern="p(X)")
+            )
+            assert not unknown["ok"]
+            assert unknown["error"]["code"] == protocol.SEMANTICS
+
+    run(scenario())
+
+
+def test_batch_coalescing_publishes_once():
+    async def scenario():
+        config = ServerConfig(max_batch=16, keep_history=True)
+        async with ServerEngine(make_kb(), config) as engine:
+            writes = [
+                engine.handle(
+                    req(id=i, op="tell", view="penguin", rules=f"penguin_of(p{i}).")
+                )
+                for i in range(10)
+            ]
+            replies = await asyncio.gather(*writes)
+            # All ten submitted before the writer ran once: one batch,
+            # one published version, every reply stamped with it.
+            assert {r["version"] for r in replies} == {1}
+            assert engine.version == 1
+            snapshot, batch = engine.history[-1]
+            assert snapshot.version == 1
+            assert len(batch) == 10
+
+    run(scenario())
+
+
+def test_per_op_batches_when_max_batch_is_one():
+    async def scenario():
+        async with ServerEngine(make_kb(), ServerConfig(max_batch=1)) as engine:
+            writes = [
+                engine.handle(
+                    req(id=i, op="tell", view="penguin", rules=f"penguin_of(q{i}).")
+                )
+                for i in range(5)
+            ]
+            replies = await asyncio.gather(*writes)
+            assert sorted(r["version"] for r in replies) == [1, 2, 3, 4, 5]
+
+    run(scenario())
+
+
+def test_snapshot_isolation_reader_at_old_version():
+    async def scenario():
+        async with ServerEngine(make_kb()) as engine:
+            old = engine.snapshot
+            await engine.handle(
+                req(id="w", op="tell", view="penguin", rules="penguin_of(opus).")
+            )
+            assert engine.snapshot is not old
+            # The old snapshot still answers at its own version.
+            stale = old.materialize("penguin")
+            from repro.kb.query import answers_in
+
+            assert not answers_in(stale, "penguin_of(X)")
+            fresh = engine.snapshot.models.get("penguin") or engine.kb.view(
+                "penguin"
+            ).least_model
+            assert answers_in(fresh, "penguin_of(X)")
+
+    run(scenario())
+
+
+def test_hot_view_refreshed_at_publish():
+    async def scenario():
+        async with ServerEngine(make_kb()) as engine:
+            await engine.handle(
+                req(id=1, op="query", view="penguin", pattern="bird_of(X)")
+            )
+            assert "penguin" in engine.snapshot.models
+            await engine.handle(
+                req(id=2, op="tell", view="penguin", rules="penguin_of(opus).")
+            )
+            # Eagerly re-materialized: the read is a pure lookup.
+            assert "penguin" in engine.snapshot.models
+            reply = await engine.handle(
+                req(id=3, op="query", view="penguin", pattern="penguin_of(X)")
+            )
+            assert reply["result"]["count"] == 1
+
+    run(scenario())
+
+
+def test_unaffected_view_model_shared_across_versions():
+    async def scenario():
+        kb = KnowledgeBase()
+        kb.define("left", "a(1).")
+        kb.define("right", "b(2).")
+        async with ServerEngine(kb) as engine:
+            await engine.handle(req(id=1, op="query", view="left", pattern="a(X)"))
+            left_model = engine.snapshot.models["left"]
+            await engine.handle(req(id=2, op="tell", view="right", rules="b(3)."))
+            # 'left' cannot see 'right': its materialized model is the
+            # very same object in the next snapshot (structural sharing).
+            assert engine.snapshot.models["left"] is left_model
+
+    run(scenario())
+
+
+def test_overload_shedding():
+    async def scenario():
+        config = ServerConfig(max_queue=2)
+        async with ServerEngine(make_kb(), config) as engine:
+            writes = [
+                engine.handle(
+                    req(id=i, op="tell", view="penguin", rules=f"penguin_of(r{i}).")
+                )
+                for i in range(6)
+            ]
+            replies = await asyncio.gather(*writes)
+            shed = [r for r in replies if not r["ok"]]
+            accepted = [r for r in replies if r["ok"]]
+            assert len(accepted) == 2
+            assert len(shed) == 4
+            assert {r["error"]["code"] for r in shed} == {protocol.OVERLOADED}
+            assert engine.stats()["errors"][protocol.OVERLOADED] == 4
+
+    run(scenario())
+
+
+def test_deadline_sheds_queued_write_and_stale_read():
+    async def scenario():
+        async with ServerEngine(make_kb()) as engine:
+            expired_write = await engine.handle(
+                req(id=1, op="tell", view="penguin", rules="penguin_of(x).",
+                    deadline_ms=0)
+            )
+            assert expired_write["error"]["code"] == protocol.TIMEOUT
+            expired_read = await engine.handle(
+                req(id=2, op="ask", view="bird", pattern="fly(tweety)",
+                    deadline_ms=0)
+            )
+            assert expired_read["error"]["code"] == protocol.TIMEOUT
+            # The expired write was never applied.
+            assert engine.version == 0
+
+    run(scenario())
+
+
+def test_skeptical_mode_served():
+    async def scenario():
+        async with ServerEngine(make_kb()) as engine:
+            reply = await engine.handle(
+                req(id=1, op="query", view="bird", pattern="fly(X)",
+                    mode="skeptical")
+            )
+            assert reply["ok"]
+            assert [a["literal"] for a in reply["result"]["answers"]] == [
+                "fly(tweety)"
+            ]
+
+    run(scenario())
+
+
+def test_graceful_drain_applies_queued_writes_then_rejects():
+    async def scenario():
+        engine = await started(ServerConfig(max_batch=4))
+        writes = [
+            engine.handle(
+                req(id=i, op="tell", view="penguin", rules=f"penguin_of(s{i}).")
+            )
+            for i in range(3)
+        ]
+        gathered = asyncio.gather(*writes)
+        await asyncio.sleep(0)  # let every write reach the queue
+        await engine.aclose()
+        replies = await gathered
+        assert all(r["ok"] for r in replies)
+        assert engine.version >= 1
+        late = await engine.handle(
+            req(id="late", op="tell", view="penguin", rules="penguin_of(z).")
+        )
+        assert late["error"]["code"] == protocol.SHUTTING_DOWN
+        late_read = await engine.handle(
+            req(id="lr", op="ask", view="bird", pattern="fly(tweety)")
+        )
+        assert late_read["error"]["code"] == protocol.SHUTTING_DOWN
+        # stats/health still answer after shutdown.
+        health = await engine.handle(req(id="h", op="health"))
+        assert health["ok"] and health["result"]["status"] == "draining"
+
+    run(scenario())
+
+
+def test_shutdown_request_sets_event():
+    async def scenario():
+        async with ServerEngine(make_kb()) as engine:
+            assert not engine.shutdown_requested.is_set()
+            reply = await engine.handle(req(id=1, op="shutdown"))
+            assert reply["ok"] and reply["result"]["draining"] is True
+            assert engine.shutdown_requested.is_set()
+
+    run(scenario())
+
+
+def test_stats_and_obs_threading():
+    async def scenario():
+        with instrumented() as obs:
+            async with ServerEngine(make_kb()) as engine:
+                await engine.handle(
+                    req(id=1, op="query", view="bird", pattern="fly(X)")
+                )
+                await engine.handle(
+                    req(id=2, op="tell", view="penguin", rules="penguin_of(o).")
+                )
+                stats = engine.stats()
+                assert stats["requests"] == {"query": 1, "tell": 1}
+                assert stats["writes"]["batches"] == 1
+                assert stats["writes"]["ops"] == 1
+                assert stats["latency"]["read"]["count"] == 1
+                assert stats["latency"]["write"]["count"] == 1
+            snapshot = obs.snapshot()
+        counters = snapshot["counters"]
+        assert counters["server.requests"] == 2
+        assert counters["server.requests.query"] == 1
+        assert counters["server.requests.tell"] == 1
+        assert counters["server.publishes"] == 1
+        assert snapshot["histograms"]["server.batch_size"]["count"] == 1
+        assert snapshot["histograms"]["server.latency.read"]["count"] == 1
+        assert snapshot["histograms"]["server.snapshot_age"]["count"] >= 1
+        assert snapshot["gauges"]["server.version"] == 1
+
+    run(scenario())
+
+
+def test_error_inside_batch_does_not_poison_rest():
+    async def scenario():
+        async with ServerEngine(make_kb(), ServerConfig(max_batch=8)) as engine:
+            writes = [
+                engine.handle(
+                    req(id="good1", op="tell", view="penguin",
+                        rules="penguin_of(a).")
+                ),
+                engine.handle(
+                    req(id="bad", op="retract", view="penguin",
+                        rules="penguin_of(never).")
+                ),
+                engine.handle(
+                    req(id="good2", op="tell", view="penguin",
+                        rules="penguin_of(b).")
+                ),
+            ]
+            replies = await asyncio.gather(*writes)
+            by_id = {r["id"]: r for r in replies}
+            assert by_id["good1"]["ok"] and by_id["good2"]["ok"]
+            assert by_id["bad"]["error"]["code"] == protocol.SEMANTICS
+            ask = await engine.handle(
+                req(id="r", op="query", view="penguin", pattern="penguin_of(X)")
+            )
+            assert ask["result"]["count"] == 2
+
+    run(scenario())

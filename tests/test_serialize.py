@@ -113,3 +113,61 @@ class TestLiteralAndInterpretation:
         model = sem.least_model  # empty, but base is not
         restored = interpretation_from_dict(interpretation_to_dict(model))
         assert restored.base == model.base
+
+
+class TestKnowledgeBaseRoundTrip:
+    def _kb(self):
+        from repro.core.maintenance import MaintenanceConfig
+        from repro.core.solver import SearchBudget
+        from repro.grounding.grounder import GroundingOptions
+        from repro.kb.knowledge_base import KnowledgeBase
+
+        kb = KnowledgeBase(
+            grounding=GroundingOptions(instance_cap=12345),
+            budget=SearchBudget(max_visited=777),
+            maintenance=MaintenanceConfig(enabled=False),
+        )
+        kb.define("bird", "fly(X) :- bird_of(X).\nbird_of(tweety).")
+        kb.define(
+            "penguin",
+            "-fly(X) :- penguin_of(X).\nbird_of(X) :- penguin_of(X).",
+            isa=["bird"],
+        )
+        kb.tell("penguin", "penguin_of(opus).")
+        return kb
+
+    def test_round_trip_preserves_rules_order_and_config(self):
+        from repro.serialize import dumps_kb, loads_kb
+
+        kb = self._kb()
+        restored = loads_kb(dumps_kb(kb))
+        assert restored.program() == kb.program()
+        assert restored.grounding.instance_cap == 12345
+        assert restored.budget.max_visited == 777
+        assert restored.maintenance.enabled is False
+        # Restored instance answers identically.
+        assert restored.view("penguin").holds("-fly(opus)")
+        assert restored.view("bird").holds("fly(tweety)")
+
+    def test_round_trip_then_mutate_independently(self):
+        from repro.serialize import dumps_kb, loads_kb
+
+        kb = self._kb()
+        restored = loads_kb(dumps_kb(kb))
+        restored.tell("penguin", "penguin_of(pingu).")
+        assert restored.view("penguin").holds("-fly(pingu)")
+        assert not kb.view("penguin").holds("-fly(pingu)")
+
+    def test_format_version_checked(self):
+        from repro.serialize import kb_from_dict, kb_to_dict
+
+        data = kb_to_dict(self._kb())
+        data["format"] = FORMAT_VERSION + 1
+        with pytest.raises(SerializationError):
+            kb_from_dict(data)
+
+    def test_loads_rejects_bad_json(self):
+        from repro.serialize import loads_kb
+
+        with pytest.raises(SerializationError):
+            loads_kb("{nope")
