@@ -16,6 +16,14 @@ hierarchy that the maintenance benchmarks use:
   client streams writes.  Snapshot isolation means reads never wait on
   the writer, so the busy p50 must stay within a small factor of the
   idle p50 (``scripts/check_server_read_latency.py``).
+* ``server-trace`` — p50/p95 of a representative bindings query with
+  request-scoped tracing off vs on (``"trace": true`` on every
+  request, so each reply carries a span tree and cost digest).
+  Tracing is built from ``perf_counter`` deltas on a contextvar and
+  costs a small per-request constant, so the gate requires the traced
+  p50 to stay within 1.3x of the untraced p50
+  (``scripts/check_server_read_latency.py --experiment server-trace
+  --baseline untraced --contender traced --max-ratio 1.3``).
 """
 
 import asyncio
@@ -135,16 +143,69 @@ def test_read_latency_under_writer(benchmark, mode):
 
     def run():
         latencies = asyncio.run(scenario())
-        collected.append(latencies)
+        # Pool every round's per-request samples: the recorded p50/p95
+        # must not hinge on whichever round happened to run last.
+        collected.extend(latencies)
         return latencies
 
     benchmark(run)
-    latencies = sorted(collected[-1])
+    latencies = sorted(collected)
     p50 = latencies[len(latencies) // 2]
     p95 = latencies[int(len(latencies) * 0.95)]
     record(
         benchmark,
         experiment="server-read",
+        reads=N_READS,
+        strategy=mode,
+        p50_s=p50,
+        p95_s=p95,
+    )
+
+
+@pytest.mark.parametrize("mode", ["untraced", "traced"])
+def test_read_tracing_overhead(benchmark, mode):
+    import time
+
+    traced = mode == "traced"
+
+    def _traced_read(i: int):
+        # A bindings query (every entity at the root level), not a
+        # single cached boolean: tracing costs a per-request constant,
+        # and the gate should weigh it against a read that does
+        # representative answer-building work.
+        body = {"id": f"t{i}", "op": "query", "view": "level0", "pattern": "known(X)"}
+        if traced:
+            body["trace"] = True
+        return parse_request(body)
+
+    async def scenario():
+        # Slow log off in both modes: ``slow_ms`` implies implicit
+        # tracing, which would contaminate the untraced baseline.
+        async with ServerEngine(build_server_kb(DEPTH, ENTITIES)) as engine:
+            await engine.handle(_traced_read(-1))  # warm the hot view
+            latencies = []
+            for i in range(N_READS):
+                t0 = time.perf_counter()
+                reply = await engine.handle(_traced_read(i))
+                latencies.append(time.perf_counter() - t0)
+                assert reply["ok"] and reply["result"]["count"] == ENTITIES
+                assert ("trace" in reply["result"]) == traced
+            return latencies
+
+    collected = []
+
+    def run():
+        latencies = asyncio.run(scenario())
+        collected.extend(latencies)
+        return latencies
+
+    benchmark(run)
+    latencies = sorted(collected)
+    p50 = latencies[len(latencies) // 2]
+    p95 = latencies[int(len(latencies) * 0.95)]
+    record(
+        benchmark,
+        experiment="server-trace",
         reads=N_READS,
         strategy=mode,
         p50_s=p50,

@@ -1,19 +1,25 @@
 #!/usr/bin/env python
-"""Gate: server read latency must be unaffected by a concurrent writer.
+"""Gate: compare per-request read p50s between two benchmark strategies.
 
 Usage:
     python scripts/check_server_read_latency.py BENCH.json
     python scripts/check_server_read_latency.py BENCH.json --max-ratio 3
+    python scripts/check_server_read_latency.py BENCH.json \
+        --experiment server-trace --baseline untraced \
+        --contender traced --max-ratio 1.3
 
-Reads the ``server-read`` experiment from a pytest-benchmark JSON
-payload (``benchmarks/bench_server.py``) and fails (exit 1) unless the
-p50 of individual reads with a busy background writer stays within
-``--max-ratio`` of the idle p50.  Snapshot isolation is the claim under
-test: readers answer from the published snapshot and never wait on the
-write pipeline, so concurrent writes must not stretch the typical read.
+Reads one experiment from a pytest-benchmark JSON payload
+(``benchmarks/bench_server.py``) and fails (exit 1) unless the p50 of
+the *contender* strategy stays within ``--max-ratio`` of the *baseline*
+strategy's p50.  The defaults gate snapshot isolation: reads with a
+busy background writer (``busy``) must stay within 3x of reads with an
+idle writer (``idle``), because readers answer from the published
+snapshot and never wait on the write pipeline.  The same script gates
+tracing overhead (``server-trace``: ``traced`` vs ``untraced``).
+
 The p50s come from ``extra_info`` (measured per request inside the
 benchmark) because the benchmark's own mean times the whole read loop —
-which *does* include interleaved writer work in the busy mode.
+which, in the busy mode, *does* include interleaved writer work.
 """
 
 from __future__ import annotations
@@ -26,14 +32,29 @@ import sys
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
-        description="read-latency isolation gate over a benchmark payload"
+        description="read-latency ratio gate over a benchmark payload"
     )
     parser.add_argument("payload", help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--experiment",
+        default="server-read",
+        help="extra_info experiment name to gate",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="idle",
+        help="strategy whose p50 is the denominator",
+    )
+    parser.add_argument(
+        "--contender",
+        default="busy",
+        help="strategy whose p50 is the numerator",
+    )
     parser.add_argument(
         "--max-ratio",
         type=float,
         default=float(os.environ.get("SERVER_READ_MAX_RATIO", "3.0")),
-        help="largest allowed busy-p50 / idle-p50 ratio",
+        help="largest allowed contender-p50 / baseline-p50 ratio",
     )
     args = parser.parse_args(argv[1:])
 
@@ -44,26 +65,28 @@ def main(argv: list[str]) -> int:
     p95s: dict[str, float] = {}
     for bench in payload["benchmarks"]:
         info = bench.get("extra_info", {})
-        if info.get("experiment") != "server-read":
+        if info.get("experiment") != args.experiment:
             continue
         p50s[info["strategy"]] = float(info["p50_s"])
         p95s[info["strategy"]] = float(info["p95_s"])
 
-    missing = {"idle", "busy"} - set(p50s)
+    missing = {args.baseline, args.contender} - set(p50s)
     if missing:
-        print(f"server-read benchmarks missing strategies: {sorted(missing)}")
+        print(
+            f"{args.experiment} benchmarks missing strategies: "
+            f"{sorted(missing)}"
+        )
         return 1
 
-    ratio = p50s["busy"] / p50s["idle"]
+    ratio = p50s[args.contender] / p50s[args.baseline]
     ok = ratio <= args.max_ratio
+    for strategy in (args.baseline, args.contender):
+        print(
+            f"{strategy}: p50={p50s[strategy] * 1e6:.1f}us "
+            f"p95={p95s[strategy] * 1e6:.1f}us"
+        )
     print(
-        f"idle: p50={p50s['idle'] * 1e6:.1f}us p95={p95s['idle'] * 1e6:.1f}us"
-    )
-    print(
-        f"busy: p50={p50s['busy'] * 1e6:.1f}us p95={p95s['busy'] * 1e6:.1f}us"
-    )
-    print(
-        f"busy/idle p50 ratio: {ratio:.2f} "
+        f"{args.contender}/{args.baseline} p50 ratio: {ratio:.2f} "
         f"[gate <= {args.max_ratio}: {'ok' if ok else 'FAIL'}]"
     )
     return 0 if ok else 1

@@ -6,12 +6,16 @@ Usage (from the repo root; the CI smoke job runs exactly this):
 
     PYTHONPATH=src python scripts/server_smoke_client.py
 
-Spawns ``python -m repro.cli serve --port 0`` as a subprocess, parses
-the listening banner for the bound port, then checks every serving
-path a deployment depends on: health, define, query, coalesced
-concurrent tells, snapshot versioning, a semantics rejection, stats,
-and a clean ``shutdown`` drain (subprocess must exit 0 and print its
-"drained and stopped" line).  Exits non-zero on the first surprise.
+Spawns ``python -m repro.cli serve --port 0 --metrics-port 0
+--slow-ms 0`` as a subprocess, parses the listening and metrics
+banners for the bound ports, then checks every serving path a
+deployment depends on: health, define, query, coalesced concurrent
+tells, a traced write that decomposes into queue-wait / coalesce /
+apply / publish, snapshot versioning, a semantics rejection, stats,
+the Prometheus ``/metrics`` + ``/healthz`` sidecar, the ``olp top``
+and ``olp slow`` clients against the live server, and a clean
+``shutdown`` drain (subprocess must exit 0 and print its "drained and
+stopped" line).  Exits non-zero on the first surprise.
 """
 
 from __future__ import annotations
@@ -23,9 +27,11 @@ import socket
 import subprocess
 import sys
 import time
+import urllib.request
 
 HOST = "127.0.0.1"
 BANNER = re.compile(r"olp serve: listening on ([\d.]+):(\d+)")
+METRICS_BANNER = re.compile(r"olp serve: metrics on ([\d.]+):(\d+)")
 
 
 def fail(message: str):
@@ -61,7 +67,10 @@ def main() -> int:
     env = dict(os.environ)
     env.setdefault("PYTHONPATH", "src")
     server = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        [
+            sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+            "--metrics-port", "0", "--slow-ms", "0",
+        ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -69,12 +78,20 @@ def main() -> int:
     )
     try:
         assert server.stdout is not None
-        line = server.stdout.readline()
-        match = BANNER.search(line)
-        if match is None:
-            fail(f"no listening banner, got {line!r}")
-        port = int(match.group(2))
-        print(f"smoke: server up on port {port}")
+        port = None
+        metrics_port = None
+        deadline = time.monotonic() + 15
+        while (port is None or metrics_port is None) and time.monotonic() < deadline:
+            line = server.stdout.readline()
+            if not line:
+                fail("server exited before printing its banners")
+            if match := BANNER.search(line):
+                port = int(match.group(2))
+            elif match := METRICS_BANNER.search(line):
+                metrics_port = int(match.group(2))
+        if port is None or metrics_port is None:
+            fail("missing listening or metrics banner")
+        print(f"smoke: server up on port {port}, metrics on {metrics_port}")
 
         session = Session(port)
         health = session.expect_ok(id=1, op="health")
@@ -112,6 +129,23 @@ def main() -> int:
         if count["result"]["count"] != 10:
             fail(f"expected 10 grounded penguins: {count!r}")
 
+        # A traced write decomposes into the pipeline phases.
+        traced = session.expect_ok(
+            id="t1", op="tell", view="bird", rules="bird_of(watched).",
+            trace=True,
+        )
+        trace = traced["result"].get("trace")
+        if trace is None:
+            fail(f"traced tell returned no trace: {traced!r}")
+        phases = [s["name"] for s in trace["spans"].get("children", [])]
+        if phases != ["queue.wait", "coalesce", "apply", "publish"]:
+            fail(f"unexpected write decomposition: {phases!r}")
+        print(
+            "smoke: traced write id={id} phases={phases}".format(
+                id=trace["trace_id"], phases=",".join(phases)
+            )
+        )
+
         rejected = session.call(
             id=6, op="retract", view="penguin", rules="penguin_of(ghost)."
         )
@@ -119,7 +153,7 @@ def main() -> int:
             fail(f"bogus retract not rejected: {rejected!r}")
 
         stats = session.expect_ok(id=7, op="stats")["result"]
-        if stats["version"] < 3 or stats["writes"]["ops"] != 22:
+        if stats["version"] < 3 or stats["writes"]["ops"] != 23:
             fail(f"surprising stats: {stats!r}")
         print(
             "smoke: version={version} batches={batches} mean_batch={mean:.2f}".format(
@@ -128,6 +162,52 @@ def main() -> int:
                 mean=stats["writes"]["mean_batch"],
             )
         )
+        if stats["slow"]["total"] < 1:
+            fail(f"slow log (threshold 0ms) recorded nothing: {stats['slow']!r}")
+
+        # The Prometheus sidecar answers plain HTTP GETs.
+        with urllib.request.urlopen(
+            f"http://{HOST}:{metrics_port}/metrics", timeout=10
+        ) as response:
+            exposition = response.read().decode()
+            if response.status != 200:
+                fail(f"/metrics returned {response.status}")
+            if not response.headers["Content-Type"].startswith("text/plain"):
+                fail(f"bad /metrics content type: {response.headers['Content-Type']}")
+        for needle in (
+            'repro_server_requests_total{op="tell"}',
+            "repro_server_read_latency_seconds_bucket",
+            "repro_server_queue_wait_ms_count",
+            "repro_server_snapshot_age_seconds",
+        ):
+            if needle not in exposition:
+                fail(f"/metrics missing {needle!r}")
+        with urllib.request.urlopen(
+            f"http://{HOST}:{metrics_port}/healthz", timeout=10
+        ) as response:
+            if response.read().decode() != "ok\n":
+                fail("/healthz did not answer ok")
+        print(f"smoke: /metrics serves {len(exposition.splitlines())} lines, /healthz ok")
+
+        # The live-view CLI clients run against the same server.
+        top = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "top",
+                f"{HOST}:{port}", "-n", "1", "--no-clear",
+            ],
+            capture_output=True, text=True, timeout=30, env=env,
+        )
+        if top.returncode != 0 or "read  p50" not in top.stdout:
+            fail(f"olp top failed: {top.returncode} {top.stdout!r} {top.stderr!r}")
+        slow = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "slow", f"{HOST}:{port}"],
+            capture_output=True, text=True, timeout=30, env=env,
+        )
+        if slow.returncode != 0 or "slow-query log" not in slow.stdout:
+            fail(f"olp slow failed: {slow.returncode} {slow.stdout!r} {slow.stderr!r}")
+        if "cost:" not in slow.stdout:
+            fail(f"olp slow entries carry no cost digest: {slow.stdout!r}")
+        print("smoke: olp top + olp slow ok against live server")
 
         other.close()
         bye = session.expect_ok(id=8, op="shutdown")

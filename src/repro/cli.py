@@ -16,7 +16,13 @@ Installed as ``olp`` (also ``python -m repro``).  Subcommands:
   print a per-phase timing / counter breakdown.
 * ``olp serve [FILE]`` — serve queries and mutations over TCP with
   snapshot-isolated reads and a single-writer delta pipeline
-  (``docs/server.md``).
+  (``docs/server.md``); ``--metrics-port`` adds a Prometheus
+  ``/metrics`` + ``/healthz`` HTTP sidecar, ``--slow-ms`` a slow-query
+  log.
+* ``olp top HOST:PORT`` — poll a running server: qps, latency
+  percentiles, queue depth, snapshot age, per-view refresh cost.
+* ``olp slow HOST:PORT`` — dump a running server's slow-query log
+  (span trees and engine cost digests).
 
 Observability flags (every subcommand): ``-v`` / ``-vv`` stream INFO /
 DEBUG events to stderr, ``--quiet`` silences events entirely,
@@ -223,7 +229,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline; requests not started before "
         "it expires are shed with a 'timeout' reply",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve Prometheus /metrics and /healthz over HTTP on "
+        "this port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="record requests at or above MS milliseconds (span tree + "
+        "engine cost digest) in the slow-query log served by 'olp slow'",
+    )
     _add_output_flags(serve)
+
+    top = sub.add_parser(
+        "top",
+        help="poll a running server's stats: qps, latency percentiles, "
+        "queue depth, snapshot age, per-view refresh cost",
+    )
+    top.add_argument("address", help="server address, host:port")
+    top.add_argument(
+        "-i",
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default: 2)",
+    )
+    top.add_argument(
+        "-n",
+        "--count",
+        type=int,
+        default=None,
+        help="stop after N polls (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing the screen",
+    )
+    _add_output_flags(top)
+
+    slow = sub.add_parser(
+        "slow",
+        help="dump a running server's slow-query log (requires "
+        "'olp serve --slow-ms')",
+    )
+    slow.add_argument("address", help="server address, host:port")
+    slow.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw slow-log entries as JSON",
+    )
+    _add_output_flags(slow)
     return parser
 
 
@@ -508,13 +570,189 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         default_deadline_ms=args.deadline_ms,
+        slow_ms=args.slow_ms,
     )
     try:
-        asyncio.run(run_server(kb, host=args.host, port=args.port, config=config))
+        asyncio.run(
+            run_server(
+                kb,
+                host=args.host,
+                port=args.port,
+                config=config,
+                metrics_port=args.metrics_port,
+            )
+        )
     except KeyboardInterrupt:  # pragma: no cover - interactive
         print("olp serve: interrupted", file=sys.stderr)
         return 130
     return 0
+
+
+def _parse_address(address: str) -> tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"expected host:port, got {address!r}")
+    return host, int(port)
+
+
+def _ndjson_request(host: str, port: int, payload: dict, timeout: float = 5.0) -> dict:
+    """One request/one reply over a fresh NDJSON connection."""
+    import socket
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    reply = json.loads(buf.decode("utf-8"))
+    if not reply.get("ok"):
+        error = reply.get("error", {})
+        raise ReproError(
+            f"server error [{error.get('code')}]: {error.get('message')}"
+        )
+    return reply
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}ms"
+
+
+def _render_top_frame(
+    stats: dict, prev: Optional[dict], interval: float, address: str
+) -> str:
+    lines = [
+        f"olp top {address} — version {stats['version']}, "
+        f"uptime {stats['uptime_s']:.1f}s, "
+        f"queue {stats['queue_depth']}, "
+        f"draining {'yes' if stats['draining'] else 'no'}"
+    ]
+    if prev is not None and interval > 0:
+        reads_now = sum(
+            stats["requests"].get(op, 0) for op in ("query", "ask", "explain")
+        )
+        reads_before = sum(
+            prev["requests"].get(op, 0) for op in ("query", "ask", "explain")
+        )
+        writes_now = stats["writes"]["ops"]
+        writes_before = prev["writes"]["ops"]
+        lines.append(
+            f"  qps: read {(reads_now - reads_before) / interval:.1f} "
+            f"write {(writes_now - writes_before) / interval:.1f} "
+            f"(over {interval:.1f}s)"
+        )
+    for kind in ("read", "write"):
+        lat = stats["latency"][kind]
+        lines.append(
+            f"  {kind:5s} p50 {_fmt_ms(lat['p50_s'])} "
+            f"p95 {_fmt_ms(lat['p95_s'])} p99 {_fmt_ms(lat['p99_s'])} "
+            f"max {_fmt_ms(lat['max_s'])} (n={lat['count']})"
+        )
+    wait = stats.get("queue_wait_ms", {})
+    if wait.get("count"):
+        lines.append(
+            f"  queue wait p50 {wait['p50']:.2f}ms p95 {wait['p95']:.2f}ms "
+            f"(n={wait['count']})"
+        )
+    lines.append(
+        f"  snapshot age {stats['snapshot_age_s']:.2f}s, "
+        f"{stats['views_materialized']} view(s) materialized"
+    )
+    slow = stats.get("slow", {})
+    if slow.get("threshold_ms") is not None:
+        lines.append(
+            f"  slow (>= {slow['threshold_ms']:g}ms): {slow['total']} total, "
+            f"{slow['logged']} logged, max {slow['max_ms']:.2f}ms"
+        )
+    views = stats.get("views", {})
+    if views:
+        lines.append("  view refresh cost at publish:")
+        for view, cost in views.items():
+            lines.append(
+                f"    {view}: n={cost['refreshes']} "
+                f"mean {_fmt_ms(cost['mean_s'])} p95 {_fmt_ms(cost['p95_s'])} "
+                f"max {_fmt_ms(cost['max_s'])}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    host, port = _parse_address(args.address)
+    prev: Optional[dict] = None
+    polls = 0
+    try:
+        while True:
+            reply = _ndjson_request(host, port, {"op": "stats", "id": "top"})
+            stats = reply["result"]
+            frame = _render_top_frame(
+                stats, prev, args.interval if prev is not None else 0.0, args.address
+            )
+            if not args.no_clear and polls:
+                print("\033[2J\033[H", end="")
+            print(frame, flush=True)
+            polls += 1
+            prev = stats
+            if args.count is not None and polls >= args.count:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+    except ConnectionError as error:
+        raise ReproError(f"cannot reach {args.address}: {error}") from error
+
+
+def _cmd_slow(args: argparse.Namespace) -> int:
+    host, port = _parse_address(args.address)
+    try:
+        reply = _ndjson_request(host, port, {"op": "slow", "id": "slow"})
+    except ConnectionError as error:
+        raise ReproError(f"cannot reach {args.address}: {error}") from error
+    result = reply["result"]
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    threshold = result.get("threshold_ms")
+    if threshold is None:
+        print("slow-query log disabled (start the server with --slow-ms)")
+        return 1
+    entries = result.get("entries", [])
+    print(
+        f"slow-query log (>= {threshold:g}ms): {result.get('total', 0)} "
+        f"recorded, showing {len(entries)}"
+    )
+    for entry in entries:
+        target = entry.get("pattern") or entry.get("rules") or ""
+        print(
+            f"\n[{entry.get('trace_id')}] {entry.get('op')} "
+            f"{entry.get('view')} {target!r} — "
+            f"{entry.get('elapsed_ms')}ms at version {entry.get('version')}"
+        )
+        cost = entry.get("cost") or {}
+        if cost:
+            rendered = ", ".join(
+                f"{key}={cost[key]:g}" for key in sorted(cost)
+            )
+            print(f"  cost: {rendered}")
+        spans = entry.get("spans")
+        if spans:
+            _print_span(spans, depth=1)
+    return 0
+
+
+def _print_span(node: dict, depth: int) -> None:
+    fields = node.get("fields") or {}
+    rendered = (
+        " [" + ", ".join(f"{k}={v}" for k, v in sorted(fields.items())) + "]"
+        if fields
+        else ""
+    )
+    print(f"{'  ' * depth}{node['name']}: {node['duration_ms']}ms{rendered}")
+    for child in node.get("children", ()):
+        _print_span(child, depth + 1)
 
 
 _COMMANDS = {
@@ -528,6 +766,8 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "repl": _cmd_repl,
     "serve": _cmd_serve,
+    "top": _cmd_top,
+    "slow": _cmd_slow,
 }
 
 

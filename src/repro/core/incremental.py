@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Optional
 from ..lang.errors import InconsistencyError
 from ..lang.literals import Literal
 from ..obs import Level, get_instrumentation
+from ..obs.trace import current_trace
 from .interpretation import Interpretation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -275,4 +276,17 @@ class SemiNaiveFixpoint:
                                 live_defeat[i] -= 1
                             next_candidates.add(i)
             candidates = next_candidates
+        ctx = current_trace()
+        if ctx is not None:
+            # Cost attribution for request tracing / the slow-query log:
+            # everything here is already computed, so an inactive trace
+            # costs one contextvar read.
+            ctx.add_cost(
+                fixpoint_stages=stages,
+                rules_fired=sum(fired),
+                literals_derived=len(derived),
+                max_stage_delta=max(
+                    (len(d) for d in self.stage_deltas), default=0
+                ),
+            )
         return Interpretation(derived, self._base)

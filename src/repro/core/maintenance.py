@@ -55,6 +55,7 @@ from ..grounding.grounder import GroundRule
 from ..lang.errors import InconsistencyError, SemanticsError
 from ..lang.literals import Atom, Literal
 from ..obs import get_instrumentation
+from ..obs.trace import current_trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .interpretation import Interpretation
@@ -273,6 +274,16 @@ class MaintainedModel:
             obs.count("maintain.rules_reevaluated", stats.rules_reevaluated)
             obs.count("maintain.literals_deleted", stats.deleted)
             obs.count("maintain.literals_rederived", stats.rederived)
+        ctx = current_trace()
+        if ctx is not None:
+            ctx.add_cost(
+                delta_asserted=stats.asserted,
+                delta_retracted=stats.retracted,
+                rules_reevaluated=stats.rules_reevaluated,
+                literals_deleted=stats.deleted,
+                literals_rederived=stats.rederived,
+                full_rebuilds=int(stats.full_rebuild),
+            )
         return stats
 
     def rebuild(self) -> None:

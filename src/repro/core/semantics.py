@@ -26,6 +26,7 @@ from ..lang.program import Component, OrderedProgram
 from ..lang.rules import Rule
 from ..lang.terms import Constant, walk_terms
 from ..obs import get_instrumentation
+from ..obs.trace import current_trace
 from .assumptions import AssumptionAnalyzer
 from .interpretation import Interpretation, TruthValue
 from .maintenance import (
@@ -201,6 +202,9 @@ class OrderedSemantics:
             for r in comp.rules
         )
         atoms = stratified_least_model(rules, self.ground.rules)
+        ctx = current_trace()
+        if ctx is not None:
+            ctx.add_cost(literals_derived=len(atoms), stratified_routed=1)
         return Interpretation(
             tuple(Literal(a, True) for a in atoms), self.ground.base
         )

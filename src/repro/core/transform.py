@@ -35,6 +35,7 @@ from typing import Optional
 from ..lang.errors import InconsistencyError
 from ..lang.literals import Literal, is_consistent
 from ..obs import Level, get_instrumentation
+from ..obs.instruments import NULL_SPAN
 from .incremental import SemiNaiveFixpoint
 from .interpretation import Interpretation
 from .statuses import StatusEvaluator
@@ -205,11 +206,12 @@ class OrderedTransform:
         obs = get_instrumentation()
         if chosen == "seminaive":
             run = SemiNaiveFixpoint(self._eval.index, self._base)
-            if not obs.enabled:
+            # span() hands back NULL_SPAN only when the registry is off
+            # AND no trace context is active — the true zero-cost path.
+            span = obs.span("fixpoint", rules=len(self._eval.rules), strategy=chosen)
+            if span is NULL_SPAN:
                 return run.run(max_iterations)
-            with obs.span(
-                "fixpoint", rules=len(self._eval.rules), strategy=chosen
-            ):
+            with span:
                 result = run.run(max_iterations)
                 obs.gauge("fixpoint.least_model_size", len(result.literals))
                 obs.event(

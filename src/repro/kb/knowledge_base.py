@@ -43,6 +43,7 @@ from ..lang.errors import SemanticsError
 from ..lang.literals import Literal
 from ..lang.parser import parse_rules
 from ..lang.poset import PartialOrder
+from ..obs import get_instrumentation
 from ..lang.program import Component, OrderedProgram
 from ..lang.rules import Rule
 from .query import Answer, QueryMode, evaluate_query
@@ -354,7 +355,10 @@ class KnowledgeBase:
             return cached
         pending = self._pending.pop(name, None)
         if pending:
-            cached.apply_ops(pending)
+            with get_instrumentation().span(
+                "kb.view.repair", view=name, ops=len(pending)
+            ):
+                cached.apply_ops(pending)
         return cached
 
     def ask(

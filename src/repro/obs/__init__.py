@@ -24,9 +24,11 @@ the event schema.
 """
 
 from .events import Event, JsonLinesSink, Level, RingBufferSink, Sink, TextSink
-from .instruments import Counter, Gauge, Histogram, Span, SpanStats
+from .exposition import CONTENT_TYPE, PrometheusWriter, render_registry, write_registry
+from .instruments import DEFAULT_BUCKETS, Counter, Gauge, Histogram, Span, SpanStats
 from .registry import Instrumentation, get_instrumentation, instrumented
 from .report import render_report
+from .trace import SpanNode, TraceContext, current_trace, new_trace_id, trace
 
 __all__ = [
     "Level",
@@ -38,8 +40,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "DEFAULT_BUCKETS",
     "Span",
     "SpanStats",
+    "SpanNode",
+    "TraceContext",
+    "current_trace",
+    "new_trace_id",
+    "trace",
+    "CONTENT_TYPE",
+    "PrometheusWriter",
+    "write_registry",
+    "render_registry",
     "Instrumentation",
     "get_instrumentation",
     "instrumented",

@@ -1,0 +1,171 @@
+"""Prometheus text-format exposition of instrumentation state.
+
+Renders counters, gauges, histograms (with explicit ``le`` buckets) and
+span statistics in the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ that
+every scraper understands, without depending on a client library.
+
+Two layers:
+
+* :class:`PrometheusWriter` — a tiny line builder that tracks
+  ``# TYPE`` headers per metric family, escapes label values and
+  formats ``+Inf`` buckets;
+* :func:`write_registry` / :func:`render_registry` — dump one
+  :class:`~repro.obs.registry.Instrumentation` registry: counters as
+  ``repro_<name>_total``, gauges and histograms under ``repro_<name>``,
+  span statistics as one ``repro_span_duration_seconds`` family with a
+  ``path`` label.
+
+The server's ``metrics`` protocol op and the ``olp serve
+--metrics-port`` HTTP sidecar combine this with the engine's always-on
+serving metrics (``ServerEngine.exposition``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Optional
+
+from .instruments import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .registry import Instrumentation
+
+__all__ = [
+    "CONTENT_TYPE",
+    "PrometheusWriter",
+    "sanitize_metric_name",
+    "write_registry",
+    "render_registry",
+]
+
+#: The content type scrapers expect from a ``/metrics`` endpoint.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dots (and anything else illegal) become underscores."""
+    name = _INVALID.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class PrometheusWriter:
+    """Accumulates exposition lines; one ``# TYPE`` header per family."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._typed: dict[str, str] = {}
+
+    def _header(self, family: str, kind: str, help: Optional[str] = None) -> None:
+        seen = self._typed.get(family)
+        if seen is None:
+            self._typed[family] = kind
+            if help:
+                escaped = help.replace("\\", "\\\\").replace("\n", "\\n")
+                self._lines.append(f"# HELP {family} {escaped}")
+            self._lines.append(f"# TYPE {family} {kind}")
+        elif seen != kind:  # pragma: no cover - caller bug guard
+            raise ValueError(f"metric family {family!r} is both {seen} and {kind}")
+
+    def _labelled(self, name: str, labels: Optional[dict]) -> str:
+        if not labels:
+            return name
+        rendered = ",".join(
+            f'{sanitize_metric_name(k)}="{_escape_label(v)}"'
+            for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}}"
+
+    def counter(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[dict] = None,
+        help: Optional[str] = None,
+    ) -> None:
+        self._header(name, "counter", help)
+        self._lines.append(f"{self._labelled(name, labels)} {_format_value(value)}")
+
+    def gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[dict] = None,
+        help: Optional[str] = None,
+    ) -> None:
+        self._header(name, "gauge", help)
+        self._lines.append(f"{self._labelled(name, labels)} {_format_value(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        hist: Histogram,
+        labels: Optional[dict] = None,
+        help: Optional[str] = None,
+    ) -> None:
+        """``name_bucket{le=...}`` cumulative series plus sum/count."""
+        self._header(name, "histogram", help)
+        base = dict(labels or {})
+        for le, cumulative in hist.bucket_pairs():
+            bucket_labels = dict(base)
+            bucket_labels["le"] = (
+                "+Inf" if le is None else _format_value(le)
+            )
+            self._lines.append(
+                f"{self._labelled(name + '_bucket', bucket_labels)} {cumulative}"
+            )
+        self._lines.append(
+            f"{self._labelled(name + '_sum', base or None)} "
+            f"{_format_value(hist.total)}"
+        )
+        self._lines.append(
+            f"{self._labelled(name + '_count', base or None)} {hist.count}"
+        )
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + ("\n" if self._lines else "")
+
+
+def write_registry(
+    writer: PrometheusWriter, obs: "Instrumentation", prefix: str = "repro_"
+) -> None:
+    """Append every registry instrument to an existing writer."""
+    for name, counter in sorted(obs._counters.items()):
+        metric = prefix + sanitize_metric_name(name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        writer.counter(metric, counter.value)
+    for name, gauge in sorted(obs._gauges.items()):
+        writer.gauge(prefix + sanitize_metric_name(name), gauge.value)
+    for name, hist in sorted(obs._histograms.items()):
+        writer.histogram(prefix + sanitize_metric_name(name), hist)
+    for path, stats in sorted(obs._spans.items()):
+        writer.histogram(
+            prefix + "span_duration_seconds", stats, labels={"path": path}
+        )
+
+
+def render_registry(obs: "Instrumentation", prefix: str = "repro_") -> str:
+    """The whole registry as one exposition document."""
+    writer = PrometheusWriter()
+    write_registry(writer, obs, prefix)
+    return writer.render()

@@ -19,6 +19,7 @@ from typing import Iterator, Optional
 
 from .events import Event, Level, Sink, make_event
 from .instruments import NULL_SPAN, Counter, Gauge, Histogram, Span, SpanStats
+from .trace import current_trace
 
 __all__ = ["Instrumentation", "get_instrumentation", "instrumented"]
 
@@ -111,9 +112,18 @@ class Instrumentation:
     # Spans
     # ------------------------------------------------------------------
     def span(self, name: str, **fields):
-        """A timed context manager, nested under the current span."""
+        """A timed context manager, nested under the current span.
+
+        While the registry is disabled the span still attaches to the
+        active :class:`~repro.obs.trace.TraceContext` (if any), so
+        request tracing works without turning global metrics on; with
+        neither enabled this stays the shared zero-cost null span.
+        """
         if not self.enabled:
-            return NULL_SPAN
+            ctx = current_trace()
+            if ctx is None:
+                return NULL_SPAN
+            return ctx.span(name, **fields)
         return Span(self, name, fields)
 
     def _stack(self) -> list[str]:

@@ -25,6 +25,7 @@ entry point; see ``docs/server.md``.
 
 from .engine import ServerConfig, ServerEngine, Snapshot
 from .protocol import (
+    ADMIN_OPS,
     ERROR_CODES,
     OPS,
     READ_OPS,
@@ -36,12 +37,13 @@ from .protocol import (
     ok_response,
     parse_request,
 )
-from .service import QueryServer, run_server
+from .service import MetricsSidecar, QueryServer, run_server
 
 __all__ = [
     "ServerConfig",
     "ServerEngine",
     "Snapshot",
+    "MetricsSidecar",
     "QueryServer",
     "run_server",
     "Request",
@@ -53,5 +55,6 @@ __all__ = [
     "OPS",
     "READ_OPS",
     "WRITE_OPS",
+    "ADMIN_OPS",
     "ERROR_CODES",
 ]

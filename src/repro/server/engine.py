@@ -33,23 +33,42 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..core.interpretation import Interpretation
+from ..core.interpretation import Interpretation, TruthValue
 from ..core.maintenance import MaintenanceConfig
 from ..core.semantics import OrderedSemantics
 from ..core.solver import SearchBudget
+from ..explain.trace import Explainer
 from ..grounding.grounder import GroundingOptions
 from ..kb.knowledge_base import KnowledgeBase
 from ..kb.query import answers_in, evaluate_query
 from ..lang.errors import ReproError
 from ..lang.program import OrderedProgram
 from ..obs import get_instrumentation
+from ..obs import exposition
+from ..obs.exposition import PrometheusWriter, write_registry
+from ..obs.instruments import Histogram
+from ..obs.trace import TraceContext
 from . import protocol
 from .protocol import Request
 
 __all__ = ["ServerConfig", "Snapshot", "ServerEngine"]
+
+#: Second-scale buckets for serving latency (50us .. 10s).
+LATENCY_BUCKETS = (
+    50e-6, 100e-6, 250e-6, 500e-6,
+    1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Millisecond-scale buckets for write-queue wait.
+QUEUE_WAIT_BUCKETS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0,
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +89,12 @@ class ServerConfig:
         keep_history: record every published snapshot and the batch
             that produced it (``engine.history``) — the differential
             harness's oracle input.  Unbounded memory; tests only.
+        slow_ms: requests at or above this many milliseconds are
+            recorded (request, span tree, engine cost digest) in the
+            slow-query ring buffer served by the ``slow`` op.  None
+            disables the log — and with it the implicit per-request
+            tracing it needs.
+        slow_log_size: ring-buffer capacity of the slow-query log.
     """
 
     max_queue: int = 256
@@ -77,6 +102,8 @@ class ServerConfig:
     default_deadline_ms: Optional[float] = None
     refresh_hot_views: bool = True
     keep_history: bool = False
+    slow_ms: Optional[float] = None
+    slow_log_size: int = 128
 
 
 class Snapshot:
@@ -97,6 +124,7 @@ class Snapshot:
         "_budget",
         "models",
         "_sems",
+        "_explainers",
     )
 
     def __init__(
@@ -107,6 +135,7 @@ class Snapshot:
         budget: SearchBudget,
         models: Optional[dict[str, Interpretation]] = None,
         sems: Optional[dict[str, OrderedSemantics]] = None,
+        explainers: Optional[dict[str, Explainer]] = None,
     ) -> None:
         self.version = version
         self.program = program
@@ -115,6 +144,9 @@ class Snapshot:
         self._budget = budget
         self.models: dict[str, Interpretation] = models if models is not None else {}
         self._sems: dict[str, OrderedSemantics] = sems if sems is not None else {}
+        self._explainers: dict[str, Explainer] = (
+            explainers if explainers is not None else {}
+        )
 
     def age(self, now: Optional[float] = None) -> float:
         return (now if now is not None else time.monotonic()) - self.published_at
@@ -143,37 +175,41 @@ class Snapshot:
             self.models[view] = interp
         return interp
 
+    def explainer(self, view: str, sem: OrderedSemantics) -> Explainer:
+        """The derivation explainer for one view at this version,
+        built once (it replays the fixpoint) and pinned."""
+        exp = self._explainers.get(view)
+        if exp is None:
+            exp = Explainer(sem)
+            self._explainers[view] = exp
+        return exp
 
-class _Latency:
-    """Always-on, allocation-free latency aggregate for ``stats``."""
 
-    __slots__ = ("count", "total", "max")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    def as_dict(self) -> dict:
-        return {
-            "count": self.count,
-            "mean_s": self.total / self.count if self.count else 0.0,
-            "max_s": self.max,
-        }
+def _latency_dict(hist: Histogram) -> dict:
+    """The always-on latency aggregate reported by ``stats``."""
+    return {
+        "count": hist.count,
+        "mean_s": hist.mean,
+        "max_s": hist.max or 0.0,
+        "p50_s": hist.quantile(0.5),
+        "p95_s": hist.quantile(0.95),
+        "p99_s": hist.quantile(0.99),
+        "buckets": [[le, n] for le, n in hist.bucket_pairs()],
+    }
 
 
 class _WriteItem:
-    __slots__ = ("request", "future")
+    __slots__ = ("request", "future", "trace")
 
-    def __init__(self, request: Request, future: "asyncio.Future[dict]") -> None:
+    def __init__(
+        self,
+        request: Request,
+        future: "asyncio.Future[dict]",
+        trace: Optional[TraceContext] = None,
+    ) -> None:
         self.request = request
         self.future = future
+        self.trace = trace
 
 
 _SENTINEL = object()
@@ -211,8 +247,13 @@ class ServerEngine:
         self._batches = 0
         self._ops_applied = 0
         self._max_batch_seen = 0
-        self._read_latency = _Latency()
-        self._write_latency = _Latency()
+        self._read_latency = Histogram("server.latency.read", LATENCY_BUCKETS)
+        self._write_latency = Histogram("server.latency.write", LATENCY_BUCKETS)
+        self._queue_wait = Histogram("server.queue.wait_ms", QUEUE_WAIT_BUCKETS)
+        self._view_refresh: dict[str, Histogram] = {}
+        self._slow: deque[dict] = deque(maxlen=self.config.slow_log_size)
+        self._slow_total = 0
+        self._slow_max_ms = 0.0
         if self.config.keep_history:
             self.history.append((self._snapshot, []))
 
@@ -271,6 +312,17 @@ class ServerEngine:
             return self._health(request)
         if request.op == "stats":
             return protocol.ok_response(request.id, self._version, self.stats())
+        if request.op == "metrics":
+            return protocol.ok_response(
+                request.id,
+                self._version,
+                {
+                    "exposition": self.exposition(),
+                    "content_type": exposition.CONTENT_TYPE,
+                },
+            )
+        if request.op == "slow":
+            return protocol.ok_response(request.id, self._version, self.slow_log())
         if request.op == "shutdown":
             self.shutdown_requested.set()
             return protocol.ok_response(
@@ -310,14 +362,24 @@ class ServerEngine:
             )
         view, pattern = request.view, request.pattern
         assert view is not None and pattern is not None  # parse_request guarantees
+        ctx: Optional[TraceContext] = None
+        if request.trace is not None or self.config.slow_ms is not None:
+            trace = request.trace or {}
+            ctx = TraceContext(
+                trace_id=trace.get("id"),
+                baggage=trace.get("baggage"),
+                name=f"server.{request.op}",
+                op=request.op,
+                view=view,
+                pattern=pattern,
+            )
         t0 = time.perf_counter()
         try:
-            if request.mode == "cautious":
-                interp = self._model_at(snap, view)
-                answers = answers_in(interp, pattern)
+            if ctx is not None:
+                with ctx.activate():
+                    result = self._evaluate_read(snap, request, view, pattern)
             else:
-                sem = self._semantics_at(snap, view)
-                answers = evaluate_query(sem, pattern, request.mode)
+                result = self._evaluate_read(snap, request, view, pattern)
         except ReproError as error:
             return self._error(
                 request, protocol.SEMANTICS, str(error), snap.version
@@ -328,23 +390,61 @@ class ServerEngine:
         if obs.enabled:
             obs.observe("server.latency.read", elapsed)
             obs.observe("server.snapshot_age", snap.age(now))
-        if request.op == "ask":
-            result: dict[str, Any] = {"holds": bool(answers)}
-        else:
-            result = {
-                "answers": [
-                    {
-                        "literal": str(a.literal),
-                        "bindings": {
-                            str(v): str(t) for v, t in a.bindings.items()
-                        },
-                    }
-                    for a in answers
-                ],
-                "count": len(answers),
-                "mode": request.mode,
-            }
+            obs.gauge("server.snapshot.age_ms", snap.age(now) * 1000.0)
+        if ctx is not None:
+            ctx.annotate(version=snap.version)
+            ctx.close()
+            if (
+                self.config.slow_ms is not None
+                and elapsed * 1000.0 >= self.config.slow_ms
+            ):
+                self._record_slow(request, ctx, elapsed, snap.version)
+            if request.trace is not None:
+                result["trace"] = ctx.summary()
         return protocol.ok_response(request.id, snap.version, result)
+
+    def _evaluate_read(
+        self, snap: Snapshot, request: Request, view: str, pattern: str
+    ) -> dict[str, Any]:
+        """Evaluate one query/ask/explain against a captured snapshot."""
+        with get_instrumentation().span(
+            "server.read", op=request.op, view=view, mode=request.mode
+        ):
+            if request.op == "explain":
+                return self._explain(snap, view, pattern)
+            if request.mode == "cautious":
+                interp = self._model_at(snap, view)
+                answers = answers_in(interp, pattern)
+            else:
+                sem = self._semantics_at(snap, view)
+                answers = evaluate_query(sem, pattern, request.mode)
+        if request.op == "ask":
+            return {"holds": bool(answers)}
+        return {
+            "answers": [
+                {
+                    "literal": str(a.literal),
+                    "bindings": {str(v): str(t) for v, t in a.bindings.items()},
+                }
+                for a in answers
+            ],
+            "count": len(answers),
+            "mode": request.mode,
+        }
+
+    def _explain(self, snap: Snapshot, view: str, pattern: str) -> dict[str, Any]:
+        """The ``explain`` op: derivation (or failure analysis) of one
+        ground literal against the captured snapshot."""
+        sem = self._semantics_at(snap, view)
+        self._model_at(snap, view)  # force the least model first
+        explainer = snap.explainer(view, sem)
+        value = sem.value(pattern)
+        return {
+            "literal": pattern,
+            "value": value.name.lower(),
+            "derived": value is TruthValue.TRUE,
+            "explanation": explainer.explain(pattern),
+        }
 
     def _model_at(self, snap: Snapshot, view: str) -> Interpretation:
         interp = snap.models.get(view)
@@ -397,10 +497,157 @@ class ServerEngine:
                 ),
             },
             "latency": {
-                "read": self._read_latency.as_dict(),
-                "write": self._write_latency.as_dict(),
+                "read": _latency_dict(self._read_latency),
+                "write": _latency_dict(self._write_latency),
+            },
+            "queue_wait_ms": self._queue_wait.as_dict(),
+            "slow": {
+                "threshold_ms": self.config.slow_ms,
+                "total": self._slow_total,
+                "logged": len(self._slow),
+                "max_ms": self._slow_max_ms,
+            },
+            "views": {
+                view: {
+                    "refreshes": hist.count,
+                    "mean_s": hist.mean,
+                    "max_s": hist.max or 0.0,
+                    "p95_s": hist.quantile(0.95),
+                }
+                for view, hist in sorted(self._view_refresh.items())
             },
         }
+
+    def exposition(self) -> str:
+        """Prometheus text-format exposition: the always-on serving
+        instruments plus (when the registry is enabled) every registry
+        instrument via :func:`~repro.obs.exposition.write_registry`."""
+        writer = PrometheusWriter()
+        writer.gauge(
+            "repro_server_version", self._version, help="Published snapshot version."
+        )
+        writer.gauge(
+            "repro_server_uptime_seconds",
+            time.monotonic() - self.started_at,
+            help="Seconds since the engine started.",
+        )
+        writer.gauge(
+            "repro_server_queue_depth",
+            self._queue.qsize(),
+            help="Write requests waiting in the bounded queue.",
+        )
+        writer.gauge(
+            "repro_server_snapshot_age_seconds",
+            self._snapshot.age(),
+            help="Age of the latest published snapshot.",
+        )
+        writer.gauge(
+            "repro_server_draining",
+            int(self._draining),
+            help="1 while the server is draining.",
+        )
+        for op, n in sorted(self._requests.items()):
+            writer.counter(
+                "repro_server_requests_total",
+                n,
+                labels={"op": op},
+                help="Requests handled, by op.",
+            )
+        for code, n in sorted(self._errors.items()):
+            writer.counter(
+                "repro_server_errors_total",
+                n,
+                labels={"code": code},
+                help="Error replies, by code.",
+            )
+        writer.counter(
+            "repro_server_batches_total",
+            self._batches,
+            help="Published write batches.",
+        )
+        writer.counter(
+            "repro_server_ops_applied_total",
+            self._ops_applied,
+            help="Write requests applied.",
+        )
+        writer.counter(
+            "repro_server_slow_queries_total",
+            self._slow_total,
+            help="Requests at or above the --slow-ms threshold.",
+        )
+        writer.histogram(
+            "repro_server_read_latency_seconds",
+            self._read_latency,
+            help="Read latency (query/ask/explain).",
+        )
+        writer.histogram(
+            "repro_server_write_latency_seconds",
+            self._write_latency,
+            help="Write latency (admission to publish).",
+        )
+        writer.histogram(
+            "repro_server_queue_wait_ms",
+            self._queue_wait,
+            help="Write-queue wait in milliseconds.",
+        )
+        for view, hist in sorted(self._view_refresh.items()):
+            writer.histogram(
+                "repro_server_view_refresh_seconds",
+                hist,
+                labels={"view": view},
+                help="Hot-view re-materialization cost at publish.",
+            )
+        write_registry(writer, get_instrumentation())
+        return writer.render()
+
+    # ------------------------------------------------------------------
+    # Slow-query log
+    # ------------------------------------------------------------------
+    def slow_log(self) -> dict:
+        """The ``slow`` result: the ring buffer, newest last."""
+        return {
+            "threshold_ms": self.config.slow_ms,
+            "total": self._slow_total,
+            "entries": list(self._slow),
+        }
+
+    def _record_slow(
+        self,
+        request: Request,
+        ctx: TraceContext,
+        elapsed: float,
+        version: int,
+    ) -> None:
+        elapsed_ms = round(elapsed * 1000.0, 3)
+        self._slow_total += 1
+        if elapsed_ms > self._slow_max_ms:
+            self._slow_max_ms = elapsed_ms
+        self._slow.append(
+            {
+                "at": time.time(),
+                "id": request.id,
+                "op": request.op,
+                "view": request.view,
+                "pattern": request.pattern,
+                "rules": (request.rules or "")[:200] or None,
+                "mode": request.mode,
+                "elapsed_ms": elapsed_ms,
+                "version": version,
+                "trace_id": ctx.trace_id,
+                "spans": ctx.root.to_dict(),
+                "cost": dict(ctx.costs),
+            }
+        )
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.count("server.slow_queries")
+            obs.event(
+                "server.slow_query",
+                op=request.op,
+                view=request.view,
+                elapsed_ms=elapsed_ms,
+                trace_id=ctx.trace_id,
+            )
 
     # ------------------------------------------------------------------
     # Write path (single-writer pipeline)
@@ -410,9 +657,19 @@ class ServerEngine:
             return self._error(
                 request, protocol.SHUTTING_DOWN, "server is draining"
             )
+        ctx: Optional[TraceContext] = None
+        if request.trace is not None or self.config.slow_ms is not None:
+            trace = request.trace or {}
+            ctx = TraceContext(
+                trace_id=trace.get("id"),
+                baggage=trace.get("baggage"),
+                name=f"server.{request.op}",
+                op=request.op,
+                view=request.view or "",
+            )
         future: asyncio.Future[dict] = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait(_WriteItem(request, future))
+            self._queue.put_nowait(_WriteItem(request, future, ctx))
         except asyncio.QueueFull:
             return self._error(
                 request,
@@ -427,6 +684,7 @@ class ServerEngine:
             item = await self._queue.get()
             if item is _SENTINEL:
                 break
+            c0 = time.perf_counter()
             batch = [item]
             stop = False
             while len(batch) < self.config.max_batch:
@@ -438,8 +696,9 @@ class ServerEngine:
                     stop = True
                     break
                 batch.append(nxt)
+            coalesce_s = time.perf_counter() - c0
             try:
-                self._apply_batch(batch)
+                self._apply_batch(batch, coalesce_s)
             except Exception as error:  # defensive: never strand futures
                 for item in batch:
                     if not item.future.done():
@@ -453,7 +712,7 @@ class ServerEngine:
             if stop:
                 break
 
-    def _apply_batch(self, batch: list[_WriteItem]) -> None:
+    def _apply_batch(self, batch: list[_WriteItem], coalesce_s: float = 0.0) -> None:
         """Apply one coalesced batch and publish the next version.
 
         Runs synchronously (no awaits): readers and other writers never
@@ -463,10 +722,23 @@ class ServerEngine:
         """
         t0 = time.perf_counter()
         now = time.monotonic()
+        obs = get_instrumentation()
         applied: list[_WriteItem] = []
         errors: list[tuple[_WriteItem, dict]] = []
         for item in batch:
             request = item.request
+            # Queue wait: admission (arrived_at) to the writer picking
+            # the item up.  Observed per item, before shedding, so shed
+            # requests still show up in the wait distribution.
+            wait_s = max(0.0, now - request.arrived_at)
+            self._queue_wait.observe(wait_s * 1000.0)
+            if obs.enabled:
+                obs.observe("server.queue.wait_ms", wait_s * 1000.0)
+            if item.trace is not None:
+                item.trace.record("queue.wait", wait_s, batch_size=len(batch))
+                item.trace.record(
+                    "coalesce", coalesce_s, batch_size=len(batch)
+                )
             if request.expired(now):
                 errors.append(
                     (
@@ -480,7 +752,16 @@ class ServerEngine:
                 )
                 continue
             try:
-                self._apply_one(request)
+                if item.trace is not None:
+                    # Re-activate the request's context on the writer
+                    # task: engine spans under apply join its span tree.
+                    with item.trace.activate():
+                        with get_instrumentation().span(
+                            "apply", op=request.op, view=request.view or ""
+                        ):
+                            self._apply_one(request)
+                else:
+                    self._apply_one(request)
             except ReproError as error:
                 errors.append(
                     (
@@ -492,20 +773,52 @@ class ServerEngine:
                 )
             else:
                 applied.append(item)
+        pub_elapsed = 0.0
+        pub_ctx: Optional[TraceContext] = None
         if applied:
-            self._publish([item.request for item in applied])
+            if any(item.trace is not None for item in applied):
+                # Publish (hot-view refresh through the maintenance
+                # engine) is batch-level work; collect its spans and
+                # cost digest once and attribute them to every traced
+                # item of the batch.
+                pub_ctx = TraceContext(name="publish")
+            pub_t0 = time.perf_counter()
+            if pub_ctx is not None:
+                with pub_ctx.activate():
+                    self._publish([item.request for item in applied])
+            else:
+                self._publish([item.request for item in applied])
+            pub_elapsed = time.perf_counter() - pub_t0
         elapsed = time.perf_counter() - t0
         self._write_latency.observe(elapsed)
         version = self._version
-        obs = get_instrumentation()
         if obs.enabled:
             obs.observe("server.latency.write", elapsed)
         for item in applied:
+            result: dict[str, Any] = {"applied": item.request.op}
+            if item.trace is not None:
+                ctx = item.trace
+                node = ctx.record(
+                    "publish", pub_elapsed, version=version, batch=len(applied)
+                )
+                if pub_ctx is not None:
+                    node.children.extend(pub_ctx.root.children)
+                    ctx.add_cost(**pub_ctx.costs)
+                ctx.annotate(batch_version=version, batch_size=len(applied))
+                ctx.close()
+                if (
+                    self.config.slow_ms is not None
+                    and ctx.root.duration is not None
+                    and ctx.root.duration * 1000.0 >= self.config.slow_ms
+                ):
+                    self._record_slow(
+                        item.request, ctx, ctx.root.duration, version
+                    )
+                if item.request.trace is not None:
+                    result["trace"] = ctx.summary()
             if not item.future.done():
                 item.future.set_result(
-                    protocol.ok_response(
-                        item.request.id, version, {"applied": item.request.op}
-                    )
+                    protocol.ok_response(item.request.id, version, result)
                 )
         for item, payload in errors:
             if not item.future.done():
@@ -548,9 +861,14 @@ class ServerEngine:
         sems = {
             view: s for view, s in prev._sems.items() if view not in affected
         }
+        explainers = {
+            view: e for view, e in prev._explainers.items() if view not in affected
+        }
+        obs = get_instrumentation()
         if self.config.refresh_hot_views:
             for view in prev.models:
                 if view in affected and view in self.kb.objects:
+                    r0 = time.perf_counter()
                     try:
                         models[view] = self.kb.view(view).least_model
                     except ReproError:
@@ -558,6 +876,16 @@ class ServerEngine:
                         # readers get the error lazily instead of the
                         # publish failing the whole batch.
                         models.pop(view, None)
+                    refresh = time.perf_counter() - r0
+                    hist = self._view_refresh.get(view)
+                    if hist is None:
+                        hist = Histogram(
+                            f"server.view.refresh.{view}", LATENCY_BUCKETS
+                        )
+                        self._view_refresh[view] = hist
+                    hist.observe(refresh)
+                    if obs.enabled:
+                        obs.observe("server.view.refresh", refresh)
         self._version += 1
         snapshot = Snapshot(
             self._version,
@@ -566,6 +894,7 @@ class ServerEngine:
             self.kb.budget,
             models,
             sems,
+            explainers,
         )
         self._snapshot = snapshot
         self._batches += 1
@@ -574,12 +903,12 @@ class ServerEngine:
             self._max_batch_seen = len(applied)
         if self.config.keep_history:
             self.history.append((snapshot, list(applied)))
-        obs = get_instrumentation()
         if obs.enabled:
             obs.count("server.publishes")
             obs.observe("server.batch_size", len(applied))
             obs.gauge("server.version", self._version)
             obs.observe("server.snapshot_age", prev.age())
+            obs.gauge("server.snapshot.age_ms", prev.age() * 1000.0)
             obs.event(
                 "server.publish",
                 version=self._version,

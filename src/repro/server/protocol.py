@@ -11,18 +11,29 @@ query     ``view`` (object name), ``pattern`` (literal pattern,
           e.g. ``"fly(X)"``), optional ``mode``
           (``cautious``/``skeptical``/``credulous``)
 ask       ``view``, ``pattern`` — boolean entailment
+explain   ``view``, ``pattern`` (ground literal) — the derivation tree
+          (or per-rule failure analysis) against the current snapshot
 tell      ``view``, ``rules`` (surface-syntax rules/facts)
 retract   ``view``, ``rules`` (ground facts previously told)
 define    ``view`` (the new object's name), optional ``rules``,
           optional ``isa`` (list of parent object names)
 stats     —
 health    —
+metrics   — Prometheus text-format exposition of all instruments
+slow      — dump the slow-query ring buffer (``--slow-ms``)
 shutdown  — request a graceful drain-and-stop
 ========  =====================================================
 
 Every request also accepts ``deadline_ms``: a relative per-request
 deadline; work not *started* before it expires is shed with a
 ``timeout`` error.
+
+Every query/ask/explain/tell/retract/define request additionally
+accepts ``trace``: either ``true`` or ``{"id": <hex>, "baggage":
+{str: str}}``.  A traced request executes under a
+:class:`~repro.obs.trace.TraceContext`; the reply's result carries a
+``trace`` object (``trace_id``, the span tree, and the engine cost
+digest — see ``docs/observability.md`` for the schema).
 
 Responses are ``{"id": ..., "ok": true, "version": v, "result": {...}}``
 or ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``.
@@ -69,9 +80,9 @@ __all__ = [
     "encode",
 ]
 
-READ_OPS = frozenset({"query", "ask"})
+READ_OPS = frozenset({"query", "ask", "explain"})
 WRITE_OPS = frozenset({"tell", "retract", "define"})
-ADMIN_OPS = frozenset({"stats", "health", "shutdown"})
+ADMIN_OPS = frozenset({"stats", "health", "metrics", "slow", "shutdown"})
 OPS = READ_OPS | WRITE_OPS | ADMIN_OPS
 
 MODES = ("cautious", "skeptical", "credulous")
@@ -109,6 +120,9 @@ class Request:
     rules: Optional[str] = None
     isa: tuple[str, ...] = ()
     deadline_ms: Optional[float] = None
+    #: None (no tracing requested) or a normalized ``{"id": str|None,
+    #: "baggage": {str: str}}`` — see :func:`parse_request`.
+    trace: Optional[dict] = None
     arrived_at: float = field(default_factory=time.monotonic)
 
     @property
@@ -192,7 +206,33 @@ def parse_request(
         rules=rules,
         isa=isa,
         deadline_ms=deadline_ms,
+        trace=_parse_trace(data.get("trace")),
     )
+
+
+def _parse_trace(raw: Any) -> Optional[dict]:
+    """Normalize the optional ``trace`` field.
+
+    ``true`` requests a fresh trace; an object may pin the trace ``id``
+    (joining a distributed trace) and attach string ``baggage``.
+    """
+    if raw is None or raw is False:
+        return None
+    if raw is True:
+        return {"id": None, "baggage": {}}
+    if not isinstance(raw, dict):
+        raise ProtocolError("'trace' must be true or an object")
+    trace_id = raw.get("id")
+    if trace_id is not None and (
+        not isinstance(trace_id, str) or not trace_id
+    ):
+        raise ProtocolError("'trace.id' must be a non-empty string")
+    baggage = raw.get("baggage", {})
+    if not isinstance(baggage, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in baggage.items()
+    ):
+        raise ProtocolError("'trace.baggage' must map strings to strings")
+    return {"id": trace_id, "baggage": dict(baggage)}
 
 
 def request_id_of(raw: Union[str, bytes]) -> Any:

@@ -20,11 +20,90 @@ import asyncio
 from typing import Optional
 
 from ..obs import get_instrumentation
+from ..obs.exposition import CONTENT_TYPE
 from . import protocol
 from .engine import ServerConfig, ServerEngine
 from .protocol import ProtocolError
 
-__all__ = ["QueryServer", "run_server"]
+__all__ = ["MetricsSidecar", "QueryServer", "run_server"]
+
+
+class MetricsSidecar:
+    """A minimal HTTP/1.0 sidecar serving ``/metrics`` and ``/healthz``.
+
+    Scrapers (Prometheus, curl) speak plain HTTP; the NDJSON protocol
+    does not.  The sidecar binds its own port next to the query
+    listener and answers GETs from the engine's always-on instruments —
+    it never blocks on the writer, so a wedged pipeline still exposes
+    its queue depth and snapshot age.
+    """
+
+    def __init__(
+        self, engine: ServerEngine, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> "MetricsSidecar":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        return self
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain the (ignored) request headers up to the blank line.
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            if path.startswith("/metrics"):
+                body = self.engine.exposition().encode("utf-8")
+                status, ctype = "200 OK", CONTENT_TYPE
+            elif path.startswith("/healthz"):
+                draining = self.engine.draining
+                payload = "draining" if draining else "ok"
+                body = (payload + "\n").encode("utf-8")
+                status = "503 Service Unavailable" if draining else "200 OK"
+                ctype = "text/plain; charset=utf-8"
+            else:
+                body = b"not found\n"
+                status, ctype = "404 Not Found", "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
 
 
 class QueryServer:
@@ -152,22 +231,34 @@ async def run_server(
     port: int = 0,
     config: Optional[ServerConfig] = None,
     ready: Optional[asyncio.Event] = None,
+    metrics_port: Optional[int] = None,
 ) -> None:
     """Serve one knowledge base until a client requests shutdown.
 
     The CLI entry point (``olp serve``).  ``ready`` (if given) is set
     once the listener is bound — test harnesses use it to know when to
-    connect.
+    connect.  ``metrics_port`` (if given; 0 picks a free port) starts a
+    :class:`MetricsSidecar` on the same host.
     """
     engine = ServerEngine(kb, config)
     server = QueryServer(engine, host, port)
+    sidecar: Optional[MetricsSidecar] = None
     await server.start()
+    if metrics_port is not None:
+        sidecar = MetricsSidecar(engine, host, metrics_port)
+        await sidecar.start()
     if ready is not None:
         ready.set()
     print(f"olp serve: listening on {server.host}:{server.port}", flush=True)
+    if sidecar is not None:
+        print(
+            f"olp serve: metrics on {sidecar.host}:{sidecar.port}", flush=True
+        )
     try:
         await server.serve_until_shutdown()
     finally:
+        if sidecar is not None:
+            await sidecar.aclose()
         await server.aclose()
     print(
         f"olp serve: drained and stopped at version {engine.version}", flush=True

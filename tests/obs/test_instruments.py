@@ -38,6 +38,52 @@ class TestPrimitives:
     def test_empty_histogram_mean(self):
         assert Histogram("x").mean == 0.0
 
+    def test_histogram_bucket_boundaries_are_le(self):
+        h = Histogram("x", buckets=(1.0, 2.0))
+        h.observe(1.0)  # on-boundary lands in the <= 1.0 bucket
+        h.observe(1.5)
+        h.observe(9.0)  # overflow
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.bucket_pairs() == [(1.0, 1), (2.0, 2), (None, 3)]
+
+    def test_histogram_buckets_sorted_on_construction(self):
+        assert Histogram("x", buckets=(5.0, 1.0)).buckets == (1.0, 5.0)
+
+    def test_quantiles_interpolate_within_buckets(self):
+        h = Histogram("x", buckets=(0.0, 10.0, 20.0))
+        for value in range(1, 11):  # 1..10, uniform in (0, 10]
+            h.observe(value)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+        # Clamped by the tracked extremes, not the bucket edges.
+        assert h.quantile(0.0001) == 1.0
+
+    def test_quantile_in_overflow_bucket_returns_max(self):
+        h = Histogram("x", buckets=(1.0,))
+        h.observe(50.0)
+        h.observe(70.0)
+        assert h.quantile(0.99) == 70.0
+
+    def test_empty_histogram_quantile(self):
+        assert Histogram("x").quantile(0.5) == 0.0
+
+    def test_as_dict_backward_compatible_plus_percentiles(self):
+        h = Histogram("x", buckets=(2.0, 4.0))
+        for value in (1, 3):
+            h.observe(value)
+        d = h.as_dict()
+        assert d["count"] == 2 and d["sum"] == 4
+        assert d["min"] == 1 and d["max"] == 3 and d["mean"] == 2
+        assert {"p50", "p95", "p99", "buckets"} <= set(d)
+        assert d["buckets"] == [[2.0, 1], [4.0, 2], [None, 2]]
+
+    def test_default_buckets_span_micro_to_mega(self):
+        h = Histogram("x")
+        h.observe(3e-6)
+        h.observe(40_000)
+        assert h.quantile(0.5) > 0
+        assert len(h.bucket_pairs()) == 3  # two hit buckets + overflow
+
 
 class TestRegistry:
     def test_disabled_is_noop(self):

@@ -1,0 +1,182 @@
+"""Unit tests for request-scoped trace contexts and registry bridging."""
+
+import asyncio
+
+from repro.obs import Instrumentation
+from repro.obs.instruments import NULL_SPAN
+from repro.obs.trace import TraceContext, current_trace, new_trace_id, trace
+
+
+class TestTraceContext:
+    def test_inactive_by_default(self):
+        assert current_trace() is None
+        TraceContext()  # constructing one does not activate it
+        assert current_trace() is None
+
+    def test_activation_is_scoped(self):
+        ctx = TraceContext()
+        with ctx.activate():
+            assert current_trace() is ctx
+            inner = TraceContext()
+            with inner.activate():
+                assert current_trace() is inner
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+    def test_ids(self):
+        assert len(new_trace_id()) == 16
+        assert TraceContext(trace_id="abc123").trace_id == "abc123"
+        assert TraceContext().trace_id != TraceContext().trace_id
+
+    def test_span_tree_nesting(self):
+        ctx = TraceContext(name="root")
+        with ctx.activate():
+            with ctx.span("outer", k=1):
+                with ctx.span("inner"):
+                    pass
+            with ctx.span("sibling"):
+                pass
+        ctx.close()
+        tree = ctx.root.to_dict()
+        assert tree["name"] == "root"
+        assert [c["name"] for c in tree["children"]] == ["outer", "sibling"]
+        outer = tree["children"][0]
+        assert outer["fields"] == {"k": 1}
+        assert [c["name"] for c in outer["children"]] == ["inner"]
+        assert tree["duration_ms"] >= outer["duration_ms"]
+
+    def test_record_appends_completed_span(self):
+        ctx = TraceContext()
+        node = ctx.record("queue.wait", 0.25, batch=3)
+        assert node.duration == 0.25
+        (child,) = ctx.root.children
+        assert child.to_dict() == {
+            "name": "queue.wait",
+            "duration_ms": 250.0,
+            "fields": {"batch": 3},
+        }
+
+    def test_cost_digest_accumulates(self):
+        ctx = TraceContext()
+        ctx.add_cost(rules_fired=3, literals_derived=5)
+        ctx.add_cost(rules_fired=2)
+        assert ctx.costs == {"rules_fired": 5, "literals_derived": 5}
+
+    def test_summary_schema(self):
+        ctx = TraceContext(
+            trace_id="feed", parent_span_id="beef", baggage={"tenant": "a"}
+        )
+        ctx.add_cost(x=1)
+        summary = ctx.summary()
+        assert summary["trace_id"] == "feed"
+        assert summary["parent_span_id"] == "beef"
+        assert summary["baggage"] == {"tenant": "a"}
+        assert summary["costs"] == {"x": 1}
+        assert summary["spans"]["name"] == "request"
+        assert summary["spans"]["duration_ms"] > 0
+
+    def test_summary_omits_empty_sections(self):
+        summary = TraceContext().summary()
+        assert "parent_span_id" not in summary
+        assert "baggage" not in summary
+        assert "costs" not in summary
+
+    def test_close_is_idempotent(self):
+        ctx = TraceContext()
+        ctx.close()
+        first = ctx.root.duration
+        ctx.close()
+        assert ctx.root.duration == first
+
+    def test_trace_helper(self):
+        with trace("load", baggage={"k": "v"}, file="x.olp") as ctx:
+            assert current_trace() is ctx
+            assert ctx.baggage == {"k": "v"}
+            assert ctx.root.fields["file"] == "x.olp"
+        assert current_trace() is None
+        assert ctx.root.duration is not None
+
+
+class TestRegistryBridge:
+    def test_disabled_registry_without_trace_is_null_span(self):
+        obs = Instrumentation()
+        assert obs.span("x") is NULL_SPAN
+
+    def test_disabled_registry_with_trace_attaches_spans(self):
+        obs = Instrumentation()
+        ctx = TraceContext()
+        with ctx.activate():
+            with obs.span("phase", view="v") as span:
+                assert span is not NULL_SPAN
+        (child,) = ctx.root.children
+        assert child.name == "phase"
+        assert child.fields == {"view": "v"}
+        assert child.duration is not None
+        # The trace-only path records nothing in the registry.
+        assert obs.snapshot()["spans"] == {}
+
+    def test_enabled_registry_records_both(self):
+        obs = Instrumentation(enabled=True)
+        ctx = TraceContext()
+        with ctx.activate():
+            with obs.span("phase"):
+                with obs.span("inner"):
+                    pass
+        spans = obs.snapshot()["spans"]
+        assert set(spans) == {"phase", "phase.inner"}
+        (child,) = ctx.root.children
+        assert child.name == "phase"
+        assert [c.name for c in child.children] == ["inner"]
+
+    def test_enabled_registry_without_trace_keeps_tree_empty(self):
+        obs = Instrumentation(enabled=True)
+        ctx = TraceContext()  # never activated
+        with obs.span("phase"):
+            pass
+        assert ctx.root.children == []
+
+
+class TestCrossTaskPropagation:
+    def test_activation_does_not_leak_across_tasks(self):
+        async def other():
+            return current_trace()
+
+        async def scenario():
+            ctx = TraceContext()
+            with ctx.activate():
+                # A fresh task copies the creating task's context...
+                assert await asyncio.create_task(other()) is ctx
+            # ...but once deactivated here, new tasks see nothing.
+            assert await asyncio.create_task(other()) is None
+
+        asyncio.run(scenario())
+
+    def test_reactivation_on_worker_task_joins_one_tree(self):
+        """The server pattern: a queue item carries the context and the
+        worker re-activates it, so worker spans join the same tree."""
+
+        async def scenario():
+            obs = Instrumentation()
+            queue: asyncio.Queue = asyncio.Queue()
+            done: asyncio.Future = asyncio.get_running_loop().create_future()
+
+            async def worker():
+                ctx = await queue.get()
+                with ctx.activate():
+                    with obs.span("apply"):
+                        ctx.add_cost(rules_fired=1)
+                done.set_result(None)
+
+            worker_task = asyncio.create_task(worker())
+            ctx = TraceContext(name="write")
+            ctx.record("queue.wait", 0.001)
+            await queue.put(ctx)
+            await done
+            await worker_task
+            assert current_trace() is None  # nothing leaked anywhere
+            ctx.close()
+            names = [c.name for c in ctx.root.children]
+            assert names == ["queue.wait", "apply"]
+            assert ctx.costs == {"rules_fired": 1}
+
+        asyncio.run(scenario())

@@ -1,0 +1,218 @@
+"""The metrics HTTP sidecar and the `olp top` / `olp slow` clients."""
+
+import asyncio
+import threading
+
+from repro.cli import main
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.server import (
+    MetricsSidecar,
+    QueryServer,
+    ServerConfig,
+    ServerEngine,
+    parse_request,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.define("bird", "fly(X) :- bird_of(X).\nbird_of(tweety).")
+    kb.define(
+        "penguin",
+        "-fly(X) :- penguin_of(X).\nbird_of(X) :- penguin_of(X).",
+        isa=["bird"],
+    )
+    return kb
+
+
+async def http_get(port: int, path: str) -> tuple[str, dict, str]:
+    """(status line, headers, body) of one HTTP/1.0 GET."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.decode().partition("\r\n\r\n")
+    status, *header_lines = head.split("\r\n")
+    headers = {}
+    for line in header_lines:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+class TestMetricsSidecar:
+    def test_metrics_endpoint_serves_prometheus_text(self):
+        async def scenario():
+            async with ServerEngine(make_kb()) as engine:
+                await engine.handle(
+                    parse_request(
+                        {"op": "query", "view": "bird", "pattern": "fly(X)"}
+                    )
+                )
+                sidecar = await MetricsSidecar(engine, port=0).start()
+                try:
+                    status, headers, body = await http_get(
+                        sidecar.port, "/metrics"
+                    )
+                    assert status == "HTTP/1.0 200 OK"
+                    assert headers["content-type"].startswith("text/plain")
+                    assert int(headers["content-length"]) == len(
+                        body.encode()
+                    )
+                    assert "# TYPE repro_server_requests_total counter" in body
+                    assert 'repro_server_requests_total{op="query"} 1' in body
+                    assert "repro_server_read_latency_seconds_count 1" in body
+                finally:
+                    await sidecar.aclose()
+
+        run(scenario())
+
+    def test_healthz_reflects_draining(self):
+        async def scenario():
+            async with ServerEngine(make_kb()) as engine:
+                sidecar = await MetricsSidecar(engine, port=0).start()
+                try:
+                    status, _, body = await http_get(sidecar.port, "/healthz")
+                    assert status == "HTTP/1.0 200 OK"
+                    assert body == "ok\n"
+                    engine._draining = True
+                    status, _, body = await http_get(sidecar.port, "/healthz")
+                    assert "503" in status
+                    assert body == "draining\n"
+                finally:
+                    await sidecar.aclose()
+
+        run(scenario())
+
+    def test_unknown_path_is_404(self):
+        async def scenario():
+            async with ServerEngine(make_kb()) as engine:
+                sidecar = await MetricsSidecar(engine, port=0).start()
+                try:
+                    status, _, _ = await http_get(sidecar.port, "/nope")
+                    assert "404" in status
+                finally:
+                    await sidecar.aclose()
+
+        run(scenario())
+
+
+def test_run_server_announces_metrics_port(capsys):
+    from repro.server.service import run_server
+
+    async def scenario():
+        ready = asyncio.Event()
+        task = asyncio.ensure_future(
+            run_server(make_kb(), port=0, ready=ready, metrics_port=0)
+        )
+        await ready.wait()
+        banners = capsys.readouterr().out
+        assert "olp serve: listening on 127.0.0.1:" in banners
+        assert "olp serve: metrics on 127.0.0.1:" in banners
+        port = None
+        metrics_port = None
+        for line in banners.splitlines():
+            if "listening on" in line:
+                port = int(line.rsplit(":", 1)[1])
+            elif "metrics on" in line:
+                metrics_port = int(line.rsplit(":", 1)[1])
+        assert port and metrics_port and metrics_port != port
+        status, _, body = await http_get(metrics_port, "/metrics")
+        assert status == "HTTP/1.0 200 OK"
+        assert "repro_server_version 0" in body
+        # Shut the server down over the NDJSON port.
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b'{"op": "shutdown", "id": 1}\n')
+        await writer.drain()
+        await reader.readline()
+        writer.close()
+        await task
+
+    run(scenario())
+
+
+class _ThreadedServer:
+    """A live QueryServer on a daemon thread, for the blocking CLI
+    clients (`olp top` / `olp slow` open their own sockets)."""
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.port: int = 0
+        self.engine = None
+        self._started = threading.Event()
+        self._stop: asyncio.Event = None  # type: ignore[assignment]
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def serve():
+            self.engine = ServerEngine(make_kb(), self.config)
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            async with QueryServer(self.engine, port=0) as server:
+                self.port = server.port
+                self._started.set()
+                await self._stop.wait()
+
+        asyncio.run(serve())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._started.wait(10), "server did not start"
+        return self
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+def test_cli_top_renders_live_stats(capsys):
+    with _ThreadedServer(ServerConfig()) as server:
+        code = main(
+            ["top", f"127.0.0.1:{server.port}", "-n", "2", "-i", "0.01",
+             "--no-clear"]
+        )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"olp top 127.0.0.1:{server.port}" in out
+    assert "read  p50" in out
+    assert "write p50" in out
+    assert "qps: read" in out  # second frame has a rate
+    assert "snapshot age" in out
+
+
+def test_cli_slow_prints_digest(capsys):
+    import json
+    import socket
+
+    with _ThreadedServer(ServerConfig(slow_ms=0.0)) as server:
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(
+                (
+                    json.dumps(
+                        {"op": "query", "view": "penguin", "pattern": "fly(X)"}
+                    )
+                    + "\n"
+                ).encode()
+            )
+            sock.makefile().readline()
+        code = main(["slow", f"127.0.0.1:{server.port}"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "slow-query log (>= 0ms): 1 recorded" in out
+    assert "query penguin 'fly(X)'" in out
+    assert "cost:" in out and "rules_fired" in out
+    assert "server.query:" in out  # the span tree is printed
+
+
+def test_cli_slow_reports_disabled_log(capsys):
+    with _ThreadedServer(ServerConfig()) as server:
+        code = main(["slow", f"127.0.0.1:{server.port}"])
+    assert code == 1
+    assert "disabled" in capsys.readouterr().out
