@@ -1,17 +1,31 @@
 #!/usr/bin/env python
 """Gate: no benchmark may regress more than GATE x against the baseline.
 
-Usage: python scripts/check_bench_regression.py NEW.json BASELINE.json
+Usage:
+    python scripts/check_bench_regression.py NEW.json BASELINE.json
+    python scripts/check_bench_regression.py --write-baseline NEW.json OUT.json
 
-Compares two pytest-benchmark JSON payloads by benchmark name.  Raw
-wall-clock comparisons across machines are meaningless (the committed
-baseline was recorded on one box, CI runs on another), so the gate is
-*self-normalizing*: each benchmark's new/baseline ratio is divided by
-the median ratio of the whole suite — a uniformly slower or faster
-machine moves every ratio equally and cancels out, while a single hot
-path that regressed stands out against its peers.  A benchmark fails
-when its normalized ratio exceeds the gate (default 1.5x, override
-with BENCH_GATE).
+Payloads on either side may be raw pytest-benchmark JSON *or* the
+compact committed format ``bench-summary/1``:
+
+    {"format": "bench-summary/1",
+     "benchmarks": [{"name": ..., "p50": ..., "samples": ..., "units": "s"}]}
+
+``--write-baseline`` distils a raw payload into that summary — it is
+what gets committed under ``benchmarks/baselines/`` (a few lines per
+benchmark instead of the full per-round timing dumps, which weighed in
+at ~93k lines).  Comparison uses each benchmark's p50 (median): it is
+robust to the stray slow round a shared CI box produces, where the mean
+is not.
+
+Raw wall-clock comparisons across machines are meaningless (the
+committed baseline was recorded on one box, CI runs on another), so the
+gate is *self-normalizing*: each benchmark's new/baseline ratio is
+divided by the median ratio of the whole suite — a uniformly slower or
+faster machine moves every ratio equally and cancels out, while a
+single hot path that regressed stands out against its peers.  A
+benchmark fails when its normalized ratio exceeds the gate (default
+1.5x, override with BENCH_GATE).
 
 Benchmarks present only in the new payload are reported but never fail
 the gate (new benchmarks must be able to land).  A baseline benchmark
@@ -30,22 +44,61 @@ import sys
 GATE = float(os.environ.get("BENCH_GATE", "1.5"))
 ALLOW_MISSING = os.environ.get("BENCH_ALLOW_MISSING", "") == "1"
 
+SUMMARY_FORMAT = "bench-summary/1"
 
-def load_means(path: str) -> dict[str, float]:
+
+def load_entries(path: str) -> dict[str, dict]:
+    """``name -> {p50, samples, units}`` from either payload format."""
     with open(path) as handle:
         payload = json.load(handle)
-    means: dict[str, float] = {}
+    entries: dict[str, dict] = {}
+    if payload.get("format") == SUMMARY_FORMAT:
+        for bench in payload.get("benchmarks", []):
+            entries[bench["name"]] = {
+                "p50": float(bench["p50"]),
+                "samples": int(bench.get("samples", 0)),
+                "units": bench.get("units", "s"),
+            }
+        return entries
     for bench in payload.get("benchmarks", []):
         name = bench.get("name")
         stats = bench.get("stats") or {}
-        if name is None or "mean" not in stats:
+        if name is None or "median" not in stats:
             print(
-                f"{path}: entry {name or '<unnamed>'} has no stats.mean; "
+                f"{path}: entry {name or '<unnamed>'} has no stats.median; "
                 "was the payload produced by pytest-benchmark?"
             )
             continue
-        means[name] = stats["mean"]
-    return means
+        entries[name] = {
+            "p50": stats["median"],
+            "samples": int(stats.get("rounds", 0)),
+            "units": "s",
+        }
+    return entries
+
+
+def write_baseline(raw_path: str, out_path: str) -> int:
+    entries = load_entries(raw_path)
+    if not entries:
+        print(f"{raw_path}: no benchmarks to summarize")
+        return 1
+    payload = {
+        "format": SUMMARY_FORMAT,
+        "benchmarks": [
+            {
+                "name": name,
+                "p50": entry["p50"],
+                "samples": entry["samples"],
+                "units": entry["units"],
+            }
+            for name, entry in sorted(entries.items())
+        ],
+    }
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {len(entries)} benchmark summaries to {out_path}")
+    return 0
 
 
 def median(values: list[float]) -> float:
@@ -57,11 +110,14 @@ def median(values: list[float]) -> float:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 3:
+    args = [a for a in argv[1:] if a != "--write-baseline"]
+    if len(args) != 2:
         print(__doc__)
         return 2
-    new = load_means(argv[1])
-    baseline = load_means(argv[2])
+    if "--write-baseline" in argv[1:]:
+        return write_baseline(args[0], args[1])
+    new = {name: e["p50"] for name, e in load_entries(args[0]).items()}
+    baseline = {name: e["p50"] for name, e in load_entries(args[1]).items()}
 
     shared = sorted(set(new) & set(baseline))
     only_new = sorted(set(new) - set(baseline))

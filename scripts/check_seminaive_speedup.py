@@ -45,6 +45,13 @@ def main(argv: list[str]) -> int:
         default=float(os.environ.get("SEMINAIVE_MIN_SPEEDUP", "2.0")),
         help="required baseline/contender ratio at the largest size",
     )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        metavar="PATH",
+        help="append the comparison as a markdown table (e.g. to "
+        "$GITHUB_STEP_SUMMARY in the bench-compare job)",
+    )
     args = parser.parse_args(argv[1:])
 
     with open(args.payload) as handle:
@@ -65,6 +72,7 @@ def main(argv: list[str]) -> int:
 
     failures = 0
     largest = max(by_size)
+    rows: list[tuple[str, str, str, str, str]] = []
     for size in sorted(by_size):
         times = by_size[size]
         if args.baseline not in times or args.contender not in times:
@@ -76,9 +84,11 @@ def main(argv: list[str]) -> int:
             continue
         speedup = times[args.baseline] / times[args.contender]
         verdict = ""
+        gate_cell = "—"
         if size == largest:
             ok = speedup >= args.min_speedup
             verdict = f" [gate >= {args.min_speedup}x: {'ok' if ok else 'FAIL'}]"
+            gate_cell = f"≥{args.min_speedup:g}x: {'ok' if ok else '**FAIL**'}"
             if not ok:
                 failures += 1
         print(
@@ -87,7 +97,39 @@ def main(argv: list[str]) -> int:
             f"{args.contender}={times[args.contender] * 1e3:.3f}ms "
             f"speedup={speedup:.1f}x{verdict}"
         )
+        rows.append(
+            (
+                str(size),
+                f"{times[args.baseline] * 1e3:.3f}",
+                f"{times[args.contender] * 1e3:.3f}",
+                f"{speedup:.1f}x",
+                gate_cell,
+            )
+        )
+    if args.summary:
+        write_summary(args, rows, failures)
     return 1 if failures else 0
+
+
+def write_summary(
+    args, rows: list[tuple[str, str, str, str, str]], failures: int
+) -> None:
+    """Append the comparison as a GitHub-flavoured markdown table."""
+    lines = [
+        f"### {args.experiment}: {args.baseline} vs {args.contender}",
+        "",
+        f"| {args.size_key} | {args.baseline} (ms) "
+        f"| {args.contender} (ms) | speedup | gate |",
+        "|---:|---:|---:|---:|:---|",
+    ]
+    lines += [f"| {' | '.join(row)} |" for row in rows]
+    lines.append("")
+    lines.append(
+        "All gates passed." if not failures else f"**{failures} failure(s).**"
+    )
+    lines.append("")
+    with open(args.summary, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,231 @@
+"""The integer semi-naive fixpoint kernel.
+
+:class:`DenseFixpoint` is the compiled counterpart of the object
+engine's delta loop: the same one-way counter flips (satisfied /
+blocked / live-overruler / live-defeater — see
+:mod:`repro.core.incremental` for the monotonicity argument), advanced
+over **integer deltas**.  A stage's delta is a list of literal ids;
+propagation walks CSR slices and bumps ``array``/``bytearray`` cells,
+so no literal object is hashed anywhere inside the loop.
+
+The result is a :class:`DenseModelData`: the derived literal ids plus
+the paired true/false bitsets of the least model.  Object
+:class:`~repro.core.interpretation.Interpretation` views are built from
+it lazily — a benchmark (or the solver) that re-runs the fixpoint
+without reading the model never pays the decode.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from ...lang.errors import InconsistencyError
+from ...lang.literals import Literal
+from .backend import PairedBitsets, backend_name
+from .index import CompiledRuleIndex
+
+__all__ = ["DenseFixpoint", "DenseModelData"]
+
+
+class DenseModelData:
+    """The computed least model in dense form.
+
+    Attributes:
+        table: the atom table that decodes the ids.
+        literal_ids: the derived literal ids, in derivation order.
+        bits: the model as paired true/false bitsets over atom ids.
+        backend: the bitset backend the run used.
+    """
+
+    __slots__ = ("table", "literal_ids", "bits", "backend")
+
+    def __init__(self, table, literal_ids: array) -> None:
+        self.table = table
+        self.literal_ids = literal_ids
+        self.backend = backend_name()
+        self.bits = PairedBitsets.from_literal_ids(
+            literal_ids, len(table), self.backend
+        )
+
+    def __len__(self) -> int:
+        return len(self.literal_ids)
+
+    def literals(self) -> tuple[Literal, ...]:
+        """Decode to literal objects (the lazy-view thunk)."""
+        decode = self.table.literal
+        return tuple(decode(i) for i in self.literal_ids)
+
+    def value_of_atom_id(self, atom_id: int) -> int:
+        """3-valued lookup: 2 true, 0 false, 1 undefined (the
+        :class:`~repro.core.interpretation.TruthValue` encoding)."""
+        if self.bits.is_true(atom_id):
+            return 2
+        if self.bits.is_false(atom_id):
+            return 0
+        return 1
+
+
+class DenseFixpoint:
+    """One ``V↑ω(∅)`` computation over a compiled index.
+
+    Mutable per-run state lives in flat arrays; the object-level
+    :class:`~repro.core.incremental.SemiNaiveFixpoint` wraps a run and
+    decodes on demand.
+
+    Attributes:
+        satisfied: per-rule derived-body-literal counts (``array('l')``).
+        blocked: per-rule blocked flags (``bytearray``).
+        live_overrulers / live_defeaters: per-rule live-threat counts.
+        fired: per-rule fired flags (``bytearray``).
+        truth: per-literal-id membership flags of the growing model.
+        stage_ids: literal ids first derived at each stage.
+    """
+
+    __slots__ = (
+        "_index",
+        "satisfied",
+        "blocked",
+        "live_overrulers",
+        "live_defeaters",
+        "fired",
+        "truth",
+        "stage_ids",
+    )
+
+    def __init__(self, index: CompiledRuleIndex) -> None:
+        self._index = index
+        n = index.n_rules
+        self.satisfied = array("l", bytes(array("l").itemsize * n))
+        self.blocked = bytearray(n)
+        self.live_overrulers = array("l", index.init_live_overrulers)
+        self.live_defeaters = array("l", index.init_live_defeaters)
+        self.fired = bytearray(n)
+        self.truth = bytearray(index.n_literals)
+        self.stage_ids: list[list[int]] = []
+
+    @property
+    def index(self) -> CompiledRuleIndex:
+        return self._index
+
+    def run(self, bound: int, obs=None) -> DenseModelData:
+        """Advance to the fixpoint; ``bound`` caps the stage count.
+
+        ``obs`` is an enabled instrumentation facade or None; the
+        disabled path costs nothing per stage.
+        """
+        index = self._index
+        heads = index.heads
+        body_sizes = index.body_sizes
+        bw_start = index.body_watch_start
+        bw_rules = index.body_watch_rules
+        blw_start = index.block_watch_start
+        blw_rules = index.block_watch_rules
+        c_start = index.contra_start
+        c_watchers = index.contra_watchers
+        satisfied = self.satisfied
+        blocked = self.blocked
+        live_over = self.live_overrulers
+        live_defeat = self.live_defeaters
+        fired = self.fired
+        truth = self.truth
+        stage_ids = self.stage_ids
+
+        queued = bytearray(index.n_rules)
+        candidates = list(index.source_facts)
+        stages = 0
+        derived_total = 0
+        while candidates:
+            new_ids: list[int] = []
+            applied = overruled = defeated = 0
+            for i in candidates:
+                queued[i] = 0
+                if fired[i] or blocked[i]:
+                    continue
+                if satisfied[i] != body_sizes[i]:
+                    continue
+                threatened = False
+                if live_over[i]:
+                    overruled += 1
+                    threatened = True
+                if live_defeat[i]:
+                    defeated += 1
+                    threatened = True
+                if threatened:
+                    continue
+                fired[i] = 1
+                applied += 1
+                h = heads[i]
+                if truth[h]:
+                    continue
+                if truth[h ^ 1]:
+                    head = index.table.literal(h)
+                    raise InconsistencyError(
+                        f"V produced both {head} and {head.complement()}; "
+                        "the input interpretation was inconsistent or the "
+                        "order is broken"
+                    )
+                truth[h] = 1
+                new_ids.append(h)
+            if not new_ids:
+                break
+            stages += 1
+            if stages > bound:
+                raise InconsistencyError(
+                    "V failed to reach a fixpoint within the iteration "
+                    "bound; this indicates non-monotone behaviour (a bug)"
+                )
+            if obs is not None:
+                self._flush_stage(
+                    obs, stages, len(candidates), applied, overruled,
+                    defeated, len(new_ids),
+                )
+            stage_ids.append(new_ids)
+            derived_total += len(new_ids)
+            # Propagate the integer delta: advance satisfied counters,
+            # flip blocked flags, release threatened watchers.  The
+            # touched rules are the next stage's candidates (the queued
+            # flags deduplicate within the stage).
+            next_candidates: list[int] = []
+            for h in new_ids:
+                for i in bw_rules[bw_start[h] : bw_start[h + 1]]:
+                    satisfied[i] += 1
+                    if not queued[i]:
+                        queued[i] = 1
+                        next_candidates.append(i)
+                for j in blw_rules[blw_start[h] : blw_start[h + 1]]:
+                    if not blocked[j]:
+                        blocked[j] = 1
+                        for packed in c_watchers[c_start[j] : c_start[j + 1]]:
+                            i = packed >> 1
+                            if packed & 1:
+                                live_over[i] -= 1
+                            else:
+                                live_defeat[i] -= 1
+                            if not queued[i]:
+                                queued[i] = 1
+                                next_candidates.append(i)
+            candidates = next_candidates
+        derived = array("l", bytes(array("l").itemsize * derived_total))
+        cursor = 0
+        for ids in stage_ids:
+            derived[cursor : cursor + len(ids)] = array("l", ids)
+            cursor += len(ids)
+        return DenseModelData(index.table, derived)
+
+    @staticmethod
+    def _flush_stage(
+        obs, stage, touched, applied, overruled, defeated, derived
+    ) -> None:
+        from ...obs import Level
+
+        obs.count("fixpoint.stages")
+        obs.count("fixpoint.rules_touched", touched)
+        obs.count("fixpoint.rules_applied", applied)
+        obs.count("fixpoint.rules_overruled", overruled)
+        obs.count("fixpoint.rules_defeated", defeated)
+        obs.count("fixpoint.literals_derived", derived)
+        obs.observe("fixpoint.stage_literals", derived)
+        obs.observe("fixpoint.delta_size", derived)
+        obs.event(
+            "fixpoint.stage", Level.DEBUG, stage=stage, new_literals=derived
+        )

@@ -1,0 +1,144 @@
+"""The watch-list index compiled to flat integer arrays.
+
+:class:`~repro.core.incremental.RuleIndex` keeps its watch lists as
+dicts keyed by :class:`~repro.lang.literals.Literal`; every delta
+propagation step therefore hashes literal objects.  This module
+flattens the same structure to CSR (compressed sparse row) integer
+arrays over :class:`~repro.grounding.grounder.AtomTable` ids, so the
+fixpoint kernel advances with array indexing only:
+
+* ``body_watch_start/body_watch_rules`` — literal id → rule ids with
+  the literal in their body;
+* ``block_watch_start/block_watch_rules`` — literal id → rule ids
+  *blocked* when the literal is derived (its complement is in their
+  body); because complementation is ``id ^ 1``, both CSRs share the
+  literal-id axis;
+* ``contra_start/contra_watchers`` — rule id ``j`` → packed
+  ``(watcher << 1) | is_overruler`` entries: rules whose live-threat
+  counter drops when ``j`` becomes blocked.
+
+The compiled index is immutable and cached on the
+:class:`~repro.core.incremental.RuleIndex` (one per evaluator), so
+repeated fixpoint runs — model enumeration in particular — share one
+compilation.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Optional
+
+from ...grounding.grounder import AtomTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..incremental import RuleIndex
+
+__all__ = ["CompiledRuleIndex"]
+
+
+def _csr(buckets: dict[int, list[int]], n_keys: int) -> tuple[array, array]:
+    """Pack id-keyed buckets into (start offsets, concatenated items)."""
+    start = array("l", bytes(array("l").itemsize * (n_keys + 1)))
+    for key, items in buckets.items():
+        start[key + 1] = len(items)
+    for k in range(n_keys):
+        start[k + 1] += start[k]
+    flat = array("l", bytes(array("l").itemsize * start[n_keys]))
+    cursor = list(start[:n_keys])
+    for key, items in buckets.items():
+        c = cursor[key]
+        flat[c : c + len(items)] = array("l", items)
+        cursor[key] = c + len(items)
+    return start, flat
+
+
+class CompiledRuleIndex:
+    """One grounded view's watch lists as dense integer arrays.
+
+    Attributes:
+        table: the atom table addressing every literal id below.
+        n_rules / n_literals: array dimensions (``n_literals`` covers
+            every atom interned in the table at compile time).
+        heads: per-rule head literal id.
+        body_sizes: per-rule body length (satisfied-counter target).
+        init_live_overrulers / init_live_defeaters: per-rule initial
+            live-threat counts (every potential threat starts live).
+        source_facts: ids of empty-body rules — stage-1 candidates.
+    """
+
+    __slots__ = (
+        "table",
+        "n_rules",
+        "n_literals",
+        "heads",
+        "body_sizes",
+        "body_watch_start",
+        "body_watch_rules",
+        "block_watch_start",
+        "block_watch_rules",
+        "contra_start",
+        "contra_watchers",
+        "init_live_overrulers",
+        "init_live_defeaters",
+        "source_facts",
+    )
+
+    def __init__(
+        self, index: "RuleIndex", table: Optional[AtomTable] = None
+    ) -> None:
+        self.table = table if table is not None else AtomTable()
+        table = self.table
+        rules = index.rules
+        n = len(rules)
+        self.n_rules = n
+        self.heads = array("l", (table.literal_id(r.head) for r in rules))
+        self.body_sizes = array("l", index.body_sizes)
+
+        body_buckets = {
+            table.literal_id(lit): ids for lit, ids in index.body_watch.items()
+        }
+        block_buckets = {
+            table.literal_id(lit): ids for lit, ids in index.block_watch.items()
+        }
+        n_lits = 2 * len(table)
+        self.n_literals = n_lits
+        self.body_watch_start, self.body_watch_rules = _csr(body_buckets, n_lits)
+        self.block_watch_start, self.block_watch_rules = _csr(
+            block_buckets, n_lits
+        )
+
+        contra_buckets = {
+            j: [(i << 1) | int(is_overruler) for i, is_overruler in watchers]
+            for j, watchers in enumerate(index.contradiction_watch)
+            if watchers
+        }
+        self.contra_start, self.contra_watchers = _csr(contra_buckets, n)
+
+        self.init_live_overrulers = array(
+            "l", (len(ids) for ids in index.overrulers)
+        )
+        self.init_live_defeaters = array(
+            "l", (len(ids) for ids in index.defeaters)
+        )
+        self.source_facts = array(
+            "l", (i for i, size in enumerate(index.body_sizes) if size == 0)
+        )
+
+    def __len__(self) -> int:
+        return self.n_rules
+
+    def body_watchers(self, literal_id: int) -> array:
+        """Rule ids watching the literal in their bodies (tests/debug)."""
+        s, e = (
+            self.body_watch_start[literal_id],
+            self.body_watch_start[literal_id + 1],
+        )
+        return self.body_watch_rules[s:e]
+
+    def block_watchers(self, literal_id: int) -> array:
+        """Rule ids blocked when the literal is derived (tests/debug)."""
+        s, e = (
+            self.block_watch_start[literal_id],
+            self.block_watch_start[literal_id + 1],
+        )
+        return self.block_watch_rules[s:e]

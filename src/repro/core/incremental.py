@@ -38,16 +38,26 @@ all on the same index); :class:`SemiNaiveFixpoint` holds the per-run
 counters.  The least model produced is literal-for-literal identical to
 naive iteration — enforced by ``tests/properties/
 test_seminaive_differential.py`` and the differential CI job.
+
+Since the dense compilation of the hot path, the counters themselves
+advance over **integer** deltas: the watch lists are flattened once per
+index into a :class:`~repro.core.compiled.index.CompiledRuleIndex`
+(CSR arrays over :class:`~repro.grounding.grounder.AtomTable` literal
+ids) and :class:`SemiNaiveFixpoint` drives the
+:class:`~repro.core.compiled.fixpoint.DenseFixpoint` kernel, exposing
+the same public counters and decoding literal objects only at the API
+boundary.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..lang.errors import InconsistencyError
 from ..lang.literals import Literal
-from ..obs import Level, get_instrumentation
+from ..obs import get_instrumentation
 from ..obs.trace import current_trace
+from .compiled.fixpoint import DenseFixpoint
+from .compiled.index import CompiledRuleIndex
 from .interpretation import Interpretation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -95,11 +105,15 @@ class RuleIndex:
         "overrulers",
         "defeaters",
         "contradiction_watch",
+        "_atom_table",
+        "_compiled",
     )
 
     def __init__(self, evaluator: "StatusEvaluator") -> None:
         rules = evaluator.rules
         order = evaluator.order
+        self._atom_table = getattr(evaluator, "atom_table", None)
+        self._compiled: Optional[CompiledRuleIndex] = None
         self.rules = rules
         self.heads = tuple(r.head for r in rules)
         self.body_sizes = tuple(len(r.body) for r in rules)
@@ -140,12 +154,31 @@ class RuleIndex:
     def __len__(self) -> int:
         return len(self.rules)
 
+    @property
+    def compiled(self) -> CompiledRuleIndex:
+        """The watch lists flattened to dense integer arrays.
+
+        Compiled lazily and cached for the index's lifetime, so the
+        many fixpoint runs of model enumeration share one compilation.
+        When the evaluator carries the grounding-time
+        :class:`~repro.grounding.grounder.AtomTable`, its atom ids are
+        reused; otherwise a private table is interned on the spot.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledRuleIndex(self, self._atom_table)
+        return self._compiled
+
 
 class SemiNaiveFixpoint:
     """One delta-driven computation of ``V↑ω(∅)`` over a shared index.
 
-    The run's mutable state is public so that tests (and debuggers) can
-    audit counter soundness against the Definition-2 statuses after
+    Since the dense compilation this class is a thin object-level shell:
+    the counters live in the flat arrays of a
+    :class:`~repro.core.compiled.fixpoint.DenseFixpoint` kernel and the
+    attributes below alias them directly (``blocked``/``fired`` read as
+    0/1 ints, which compare equal to the booleans the audits expect).
+    The run's state stays public so that tests (and debuggers) can audit
+    counter soundness against the Definition-2 statuses after
     :meth:`run`:
 
     Attributes:
@@ -157,19 +190,33 @@ class SemiNaiveFixpoint:
         fired: per-rule flag — the rule fires under the least model
             (applicable, not overruled, not defeated).
         stage_deltas: the literals first derived at each stage, in
-            order; their union is the least model.
+            order; their union is the least model (decoded lazily from
+            the kernel's literal-id stages).
     """
 
     def __init__(self, index: RuleIndex, base) -> None:
         self._index = index
         self._base = frozenset(base)
-        n = len(index)
-        self.satisfied = [0] * n
-        self.blocked = [False] * n
-        self.live_overrulers = [len(ids) for ids in index.overrulers]
-        self.live_defeaters = [len(ids) for ids in index.defeaters]
-        self.fired = [False] * n
-        self.stage_deltas: list[frozenset[Literal]] = []
+        self._dense = DenseFixpoint(index.compiled)
+        self._stage_cache: Optional[list[frozenset[Literal]]] = None
+        self.satisfied = self._dense.satisfied
+        self.blocked = self._dense.blocked
+        self.live_overrulers = self._dense.live_overrulers
+        self.live_defeaters = self._dense.live_defeaters
+        self.fired = self._dense.fired
+
+    @property
+    def stage_deltas(self) -> list[frozenset[Literal]]:
+        """The stage deltas as literal sets, decoded once on demand."""
+        stage_ids = self._dense.stage_ids
+        cache = self._stage_cache
+        if cache is None or len(cache) != len(stage_ids):
+            decode = self._dense.index.table.literal
+            cache = [
+                frozenset(decode(i) for i in ids) for ids in stage_ids
+            ]
+            self._stage_cache = cache
+        return cache
 
     def run(self, max_iterations: Optional[int] = None) -> Interpretation:
         """Compute ``V↑ω(∅)``; stage boundaries match naive iteration.
@@ -180,113 +227,25 @@ class SemiNaiveFixpoint:
         two contradicting rules both fire — the same surfacing as the
         naive strategy.
         """
-        index = self._index
-        heads = index.heads
-        body_sizes = index.body_sizes
-        body_watch = index.body_watch
-        block_watch = index.block_watch
-        contradiction_watch = index.contradiction_watch
-        satisfied = self.satisfied
-        blocked = self.blocked
-        live_over = self.live_overrulers
-        live_defeat = self.live_defeaters
-        fired = self.fired
-
         bound = (
             max_iterations
             if max_iterations is not None
             else 2 * len(self._base) + 2
         )
         obs = get_instrumentation()
-        derived: set[Literal] = set()
-        stages = 0
-        # Stage 1 candidates: only empty-body rules can be applicable
-        # at the empty interpretation.
-        candidates = {i for i, size in enumerate(body_sizes) if size == 0}
-        while candidates:
-            new_literals: set[Literal] = set()
-            applied = overruled = defeated = 0
-            for i in candidates:
-                if fired[i] or blocked[i]:
-                    continue
-                if satisfied[i] != body_sizes[i]:
-                    continue
-                threatened = False
-                if live_over[i]:
-                    overruled += 1
-                    threatened = True
-                if live_defeat[i]:
-                    defeated += 1
-                    threatened = True
-                if threatened:
-                    continue
-                fired[i] = True
-                applied += 1
-                head = heads[i]
-                if head in derived or head in new_literals:
-                    continue
-                complement = head.complement()
-                if complement in derived or complement in new_literals:
-                    raise InconsistencyError(
-                        f"V produced both {head} and {complement}; "
-                        "the input interpretation was inconsistent or the "
-                        "order is broken"
-                    )
-                new_literals.add(head)
-            if not new_literals:
-                break
-            stages += 1
-            if stages > bound:
-                raise InconsistencyError(
-                    "V failed to reach a fixpoint within the iteration "
-                    "bound; this indicates non-monotone behaviour (a bug)"
-                )
-            if obs.enabled:
-                obs.count("fixpoint.stages")
-                obs.count("fixpoint.rules_touched", len(candidates))
-                obs.count("fixpoint.rules_applied", applied)
-                obs.count("fixpoint.rules_overruled", overruled)
-                obs.count("fixpoint.rules_defeated", defeated)
-                obs.count("fixpoint.literals_derived", len(new_literals))
-                obs.observe("fixpoint.stage_literals", len(new_literals))
-                obs.observe("fixpoint.delta_size", len(new_literals))
-                obs.event(
-                    "fixpoint.stage",
-                    Level.DEBUG,
-                    stage=stages,
-                    new_literals=len(new_literals),
-                )
-            self.stage_deltas.append(frozenset(new_literals))
-            # Propagate the delta: advance satisfied counters, flip
-            # blocked flags, release overruled/defeated watchers.  The
-            # affected rules are the next stage's candidates.
-            next_candidates: set[int] = set()
-            for lit in new_literals:
-                derived.add(lit)
-                for i in body_watch.get(lit, ()):
-                    satisfied[i] += 1
-                    next_candidates.add(i)
-                for j in block_watch.get(lit, ()):
-                    if not blocked[j]:
-                        blocked[j] = True
-                        for i, is_overruler in contradiction_watch[j]:
-                            if is_overruler:
-                                live_over[i] -= 1
-                            else:
-                                live_defeat[i] -= 1
-                            next_candidates.add(i)
-            candidates = next_candidates
+        data = self._dense.run(bound, obs if obs.enabled else None)
         ctx = current_trace()
         if ctx is not None:
             # Cost attribution for request tracing / the slow-query log:
             # everything here is already computed, so an inactive trace
             # costs one contextvar read.
+            stage_ids = self._dense.stage_ids
             ctx.add_cost(
-                fixpoint_stages=stages,
-                rules_fired=sum(fired),
-                literals_derived=len(derived),
+                fixpoint_stages=len(stage_ids),
+                rules_fired=sum(self._dense.fired),
+                literals_derived=len(data),
                 max_stage_delta=max(
-                    (len(d) for d in self.stage_deltas), default=0
+                    (len(ids) for ids in stage_ids), default=0
                 ),
             )
-        return Interpretation(derived, self._base)
+        return Interpretation.deferred(data.literals, self._base)

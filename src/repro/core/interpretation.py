@@ -6,12 +6,21 @@ a member of the interpretation; atoms for which neither ``A`` nor ``¬A``
 is a member are **undefined** (the paper's ``Ī``).  The truth values
 order ``F < U < T`` and the value of a conjunction is the minimum of the
 values of its literals (Section 3, following [P3]).
+
+Interpretations can be built two ways.  The eager constructor validates
+its members (ground, consistent, inside the base) — the right behaviour
+at API boundaries where the literals come from callers.  The
+:meth:`Interpretation.deferred` path instead wraps a thunk from a
+producer that *guarantees* those invariants (the dense fixpoint kernel
+derives ids that are consistent by construction) and materializes the
+member set only when something actually reads it; until then the object
+costs two attribute slots.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import AbstractSet, Iterable, Iterator, Optional
+from typing import AbstractSet, Callable, Iterable, Iterator, Optional
 
 from ..lang.errors import InconsistencyError
 from ..lang.literals import Atom, Literal
@@ -42,7 +51,7 @@ class Interpretation:
             a wider base is given).
     """
 
-    __slots__ = ("_literals", "_base", "_hash")
+    __slots__ = ("_literals", "_base", "_hash", "_thunk")
 
     def __init__(
         self,
@@ -71,37 +80,70 @@ class Interpretation:
                 )
         object.__setattr__(self, "_literals", members)
         object.__setattr__(self, "_base", full_base)
-        object.__setattr__(self, "_hash", hash(("interp", members, full_base)))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_thunk", None)
+
+    @classmethod
+    def deferred(
+        cls,
+        thunk: Callable[[], Iterable[Literal]],
+        base: AbstractSet[Atom],
+    ) -> "Interpretation":
+        """An interpretation whose members are produced lazily.
+
+        The thunk is called at most once, on first read.  The producer
+        is trusted to yield ground, mutually consistent literals whose
+        atoms lie inside ``base`` — the eager validation is skipped, so
+        this path is reserved for internal engines whose output is
+        consistent by construction (the fixpoint kernel raises
+        :class:`~repro.lang.errors.InconsistencyError` itself rather
+        than emitting an inconsistent delta).
+        """
+        self = cls.__new__(cls)
+        object.__setattr__(self, "_literals", None)
+        object.__setattr__(self, "_base", frozenset(base))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_thunk", thunk)
+        return self
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Interpretation is immutable")
+
+    def _members(self) -> frozenset[Literal]:
+        members = self._literals
+        if members is None:
+            members = frozenset(self._thunk())
+            object.__setattr__(self, "_literals", members)
+            object.__setattr__(self, "_thunk", None)
+        return members
 
     # ------------------------------------------------------------------
     # Membership and valuation
     # ------------------------------------------------------------------
     @property
     def literals(self) -> frozenset[Literal]:
-        return self._literals
+        return self._members()
 
     @property
     def base(self) -> frozenset[Atom]:
         return self._base
 
     def __contains__(self, literal: object) -> bool:
-        return literal in self._literals
+        return literal in self._members()
 
     def __iter__(self) -> Iterator[Literal]:
-        return iter(self._literals)
+        return iter(self._members())
 
     def __len__(self) -> int:
-        return len(self._literals)
+        return len(self._members())
 
     def value(self, literal: Literal) -> TruthValue:
         """The value of a ground literal: T if a member, F if its
         complement is a member, U otherwise."""
-        if literal in self._literals:
+        members = self._members()
+        if literal in members:
             return TruthValue.TRUE
-        if literal.complement() in self._literals:
+        if literal.complement() in members:
             return TruthValue.FALSE
         return TruthValue.UNDEFINED
 
@@ -125,7 +167,7 @@ class Interpretation:
     # ------------------------------------------------------------------
     def undefined_atoms(self) -> frozenset[Atom]:
         """``Ī``: the base atoms with neither ``A`` nor ``¬A`` assigned."""
-        defined = frozenset(l.atom for l in self._literals)
+        defined = frozenset(l.atom for l in self._members())
         return self._base - defined
 
     @property
@@ -135,17 +177,17 @@ class Interpretation:
 
     def positive_part(self) -> frozenset[Literal]:
         """``I+``: the positive member literals."""
-        return frozenset(l for l in self._literals if l.positive)
+        return frozenset(l for l in self._members() if l.positive)
 
     def negative_part(self) -> frozenset[Literal]:
         """``I-``: the negative member literals."""
-        return frozenset(l for l in self._literals if not l.positive)
+        return frozenset(l for l in self._members() if not l.positive)
 
     def true_atoms(self) -> frozenset[Atom]:
-        return frozenset(l.atom for l in self._literals if l.positive)
+        return frozenset(l.atom for l in self._members() if l.positive)
 
     def false_atoms(self) -> frozenset[Atom]:
-        return frozenset(l.atom for l in self._literals if not l.positive)
+        return frozenset(l.atom for l in self._members() if not l.positive)
 
     # ------------------------------------------------------------------
     # Construction of variants
@@ -153,48 +195,53 @@ class Interpretation:
     def with_literals(self, extra: Iterable[Literal]) -> "Interpretation":
         """A new interpretation with extra literals added (atoms outside
         the base widen the base)."""
-        members = self._literals | frozenset(extra)
+        members = self._members() | frozenset(extra)
         base = self._base | frozenset(l.atom for l in members)
         return Interpretation(members, base)
 
     def without_literals(self, removed: Iterable[Literal]) -> "Interpretation":
-        return Interpretation(self._literals - frozenset(removed), self._base)
+        return Interpretation(self._members() - frozenset(removed), self._base)
 
     def restricted_to(self, atoms: AbstractSet[Atom]) -> "Interpretation":
         """The interpretation restricted to a sub-base."""
-        keep = frozenset(l for l in self._literals if l.atom in atoms)
+        keep = frozenset(l for l in self._members() if l.atom in atoms)
         return Interpretation(keep, frozenset(atoms))
 
     def with_base(self, base: AbstractSet[Atom]) -> "Interpretation":
         """The same literals over a (usually wider) base."""
-        return Interpretation(self._literals, frozenset(base) | frozenset(
-            l.atom for l in self._literals
-        ))
+        members = self._members()
+        return Interpretation(
+            members, frozenset(base) | frozenset(l.atom for l in members)
+        )
 
     # ------------------------------------------------------------------
     # Set-like comparisons (on literal sets; the base does not compare)
     # ------------------------------------------------------------------
     def issubset(self, other: "Interpretation") -> bool:
-        return self._literals <= other._literals
+        return self._members() <= other._members()
 
     def __le__(self, other: "Interpretation") -> bool:
-        return self._literals <= other._literals
+        return self._members() <= other._members()
 
     def __lt__(self, other: "Interpretation") -> bool:
-        return self._literals < other._literals
+        return self._members() < other._members()
 
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Interpretation)
-            and other._literals == self._literals
+            and other._members() == self._members()
             and other._base == self._base
         )
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = hash(("interp", self._members(), self._base))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __str__(self) -> str:
-        inner = ", ".join(str(l) for l in sorted(self._literals))
+        inner = ", ".join(str(l) for l in sorted(self._members()))
         return "{" + inner + "}"
 
     def __repr__(self) -> str:  # pragma: no cover - convenience

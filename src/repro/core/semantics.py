@@ -119,7 +119,11 @@ class OrderedSemantics:
 
     @cached_property
     def evaluator(self) -> StatusEvaluator:
-        return StatusEvaluator(self.ground.rules, ComponentOrder(self.program.order))
+        return StatusEvaluator(
+            self.ground.rules,
+            ComponentOrder(self.program.order),
+            atom_table=self.ground.atom_table,
+        )
 
     @cached_property
     def transform(self) -> OrderedTransform:
@@ -352,8 +356,13 @@ class OrderedSemantics:
         for name in self._CACHED:
             self.__dict__.pop(name, None)
         if old_ground is not None:
+            # The old atom table stays valid: maintenance only toggles
+            # rule liveness, it never invents atoms outside the base.
             self.__dict__["ground"] = GroundProgram(
-                maintained.alive_rules(), old_ground.base, old_ground.universe
+                maintained.alive_rules(),
+                old_ground.base,
+                old_ground.universe,
+                old_ground.atom_table,
             )
         self.__dict__["least_model"] = maintained.interpretation()
         return stats

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
-from ..grounding.grounder import GroundRule
+from ..grounding.grounder import AtomTable, GroundRule
 from ..lang.literals import Literal
 from ..lang.poset import PartialOrder
 from .interpretation import Interpretation
@@ -92,11 +92,20 @@ class StatusEvaluator:
     the (usually short) list of rules with the complementary head.
     """
 
-    def __init__(self, rules: Iterable[GroundRule], order: ComponentOrder) -> None:
+    def __init__(
+        self,
+        rules: Iterable[GroundRule],
+        order: ComponentOrder,
+        atom_table: Optional["AtomTable"] = None,
+    ) -> None:
         self._rules = tuple(rules)
         self._order = order
         self._by_head: dict[Literal, list[GroundRule]] = {}
         self._index: Optional["RuleIndex"] = None
+        #: The grounding-time atom table, when the caller has one — the
+        #: compiled watch-list index reuses its dense ids instead of
+        #: re-interning every literal.
+        self.atom_table = atom_table
         for r in self._rules:
             self._by_head.setdefault(r.head, []).append(r)
 

@@ -2,8 +2,18 @@
 database, and a non-ground stratified semi-naive Datalog engine
 (Example 6's "parent is defined through a database relation")."""
 
+from .columnar import ColumnarIndex, TermInterner, merge_join, shared_interner
 from .database import Database
 from .engine import DatalogEngine
 from .relation import Relation, RelationError
 
-__all__ = ["Relation", "RelationError", "Database", "DatalogEngine"]
+__all__ = [
+    "Relation",
+    "RelationError",
+    "Database",
+    "DatalogEngine",
+    "ColumnarIndex",
+    "TermInterner",
+    "merge_join",
+    "shared_interner",
+]

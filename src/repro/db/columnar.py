@@ -1,0 +1,174 @@
+"""Columnar relation storage: interned term ids + sorted-merge joins.
+
+The row-oriented :class:`~repro.db.relation.Relation` compares and
+hashes structured :class:`~repro.lang.terms.Term` objects on every join
+probe.  This module gives each relation a lazily-built **columnar
+index**: every column becomes a flat ``array('l')`` of dense term ids
+from a shared :class:`TermInterner`, so an equi-join becomes a merge of
+two sorted integer arrays — the same dense-id discipline the fixpoint
+kernel applies to literals (see ``docs/performance.md``).
+
+Ids are assigned in interning order, not term order; a merge join only
+needs *both* sides sorted in the same id space, which the shared
+interner guarantees.  Sort orders are cached per (relation, key
+columns), so the repeated joins of semi-naive iteration re-sort
+nothing.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from ..lang.terms import Term
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .relation import Relation
+
+__all__ = ["TermInterner", "ColumnarIndex", "merge_join"]
+
+
+class TermInterner:
+    """Ground terms interned to dense integer ids (append-only)."""
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self) -> None:
+        self._ids: dict[Term, int] = {}
+        self._terms: list[Term] = []
+
+    def intern(self, term: Term) -> int:
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = len(self._terms)
+            self._ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def term(self, tid: int) -> Term:
+        return self._terms[tid]
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+
+#: The default interner.  Shared across relations so that ids are
+#: comparable between any two columnar indexes (the merge join relies
+#: on this).
+_SHARED = TermInterner()
+
+
+def shared_interner() -> TermInterner:
+    return _SHARED
+
+
+class ColumnarIndex:
+    """One relation's rows as id columns plus cached sort orders.
+
+    Attributes:
+        rows: the relation's rows in a fixed positional order — join
+            results are assembled by row index.
+        columns: per-column ``array('l')`` of interned term ids.
+    """
+
+    __slots__ = ("interner", "rows", "columns", "_orders")
+
+    def __init__(
+        self, relation: "Relation", interner: TermInterner | None = None
+    ) -> None:
+        self.interner = interner if interner is not None else _SHARED
+        intern = self.interner.intern
+        self.rows: tuple = tuple(relation.rows)
+        arity = relation.arity
+        columns = [array("l", bytes(array("l").itemsize * len(self.rows)))
+                   for _ in range(arity)]
+        for r, row in enumerate(self.rows):
+            for c in range(arity):
+                columns[c][r] = intern(row[c])
+        self.columns = columns
+        self._orders: dict[tuple[tuple[int, ...], int], tuple[array, array]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def sorted_by(
+        self, cols: Sequence[int], radix: int | None = None
+    ) -> tuple[array, array]:
+        """``(keys, order)``: the composite key of each row under the
+        given columns, and the row indices sorted by that key.
+
+        Composite keys are flattened to single ints by mixing with
+        ``radix`` (a perfect injective mix when every id is below it),
+        so the merge loop compares one machine int per row regardless of
+        key arity.  Both sides of a join must mix with the *same* radix
+        — :func:`merge_join` snapshots one and passes it down, and the
+        cache is keyed on it (a stale cached mix from a smaller interner
+        must not be reused).
+        """
+        key = tuple(cols)
+        if len(key) == 1:
+            radix = 0  # single column: no mixing, radix-independent
+        elif radix is None:
+            radix = max(len(self.interner), 1)
+        cached = self._orders.get((key, radix))
+        if cached is not None:
+            return cached
+        n = len(self.rows)
+        if len(key) == 1:
+            keys = self.columns[key[0]]
+        else:
+            keys = array("q", bytes(8 * n))
+            for r in range(n):
+                mixed = 0
+                for c in key:
+                    mixed = mixed * radix + self.columns[c][r]
+                keys[r] = mixed
+        order = array("l", sorted(range(n), key=keys.__getitem__))
+        sorted_keys = array(keys.typecode, (keys[r] for r in order))
+        cached = (sorted_keys, order)
+        self._orders[(key, radix)] = cached
+        return cached
+
+
+def merge_join(
+    left: ColumnarIndex,
+    right: ColumnarIndex,
+    left_cols: Sequence[int],
+    right_cols: Sequence[int],
+) -> Iterator[tuple[int, int]]:
+    """Row-index pairs matching on the key columns, by sorted merge.
+
+    Both sides must be indexed against the same interner.  Composite
+    keys must be mixed identically, so multi-column joins share one
+    radix: the max of the two interner sizes (identical here because
+    the interner is shared).
+    """
+    if left.interner is not right.interner:
+        raise ValueError("merge_join requires indexes over one interner")
+    radix = max(len(left.interner), 1)
+    lkeys, lorder = left.sorted_by(left_cols, radix)
+    rkeys, rorder = right.sorted_by(right_cols, radix)
+    nl, nr = len(lkeys), len(rkeys)
+    i = j = 0
+    while i < nl and j < nr:
+        lk, rk = lkeys[i], rkeys[j]
+        if lk < rk:
+            i = bisect_left(lkeys, rk, i + 1)
+        elif rk < lk:
+            j = bisect_left(rkeys, lk, j + 1)
+        else:
+            i_end = i
+            while i_end < nl and lkeys[i_end] == lk:
+                i_end += 1
+            j_end = j
+            while j_end < nr and rkeys[j_end] == lk:
+                j_end += 1
+            for a in range(i, i_end):
+                la = lorder[a]
+                for b in range(j, j_end):
+                    yield la, rorder[b]
+            i, j = i_end, j_end

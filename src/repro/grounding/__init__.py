@@ -1,6 +1,6 @@
 """Grounding: substitutions, Herbrand universe/base, rule instantiation."""
 
-from .grounder import Grounder, GroundingOptions, GroundProgram, GroundRule
+from .grounder import AtomTable, Grounder, GroundingOptions, GroundProgram, GroundRule
 from .herbrand import HerbrandUniverse, herbrand_base, universe_of
 from .substitution import Substitution, match, match_atom, unify, unify_atoms
 
@@ -13,6 +13,7 @@ __all__ = [
     "HerbrandUniverse",
     "herbrand_base",
     "universe_of",
+    "AtomTable",
     "Grounder",
     "GroundingOptions",
     "GroundProgram",

@@ -32,7 +32,98 @@ from ..obs import Level, get_instrumentation
 from .herbrand import HerbrandUniverse, herbrand_base, universe_of
 from .substitution import Substitution
 
-__all__ = ["GroundRule", "GroundProgram", "GroundingOptions", "Grounder"]
+__all__ = [
+    "AtomTable",
+    "GroundRule",
+    "GroundProgram",
+    "GroundingOptions",
+    "Grounder",
+]
+
+
+class AtomTable:
+    """Interns ground atoms to dense integer ids.
+
+    The dense evaluation path (``repro.core.compiled``) speaks in
+    integers: every ground atom seen at grounding time receives a small
+    id, and a literal is addressed as ``atom_id * 2`` (positive) or
+    ``atom_id * 2 + 1`` (negative), so complementation is ``id ^ 1``.
+
+    Ids are **stable**: the table is append-only, so an atom keeps its
+    id across fact deltas for the lifetime of the table (maintenance
+    reuses the grounding-time table rather than re-interning).  After
+    retract-heavy traces the table can be :meth:`compact`-ed into a
+    fresh table over the surviving atoms; compaction deliberately
+    returns a *new* table plus a remap instead of mutating ids in
+    place.
+    """
+
+    __slots__ = ("_ids", "_atoms", "_literals")
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        self._ids: dict[Atom, int] = {}
+        self._atoms: list[Atom] = []
+        self._literals: list[Literal] = []
+        for atom in atoms:
+            self.intern(atom)
+
+    def intern(self, atom: Atom) -> int:
+        """The atom's id, allocating the next dense id on first sight."""
+        i = self._ids.get(atom)
+        if i is None:
+            i = len(self._atoms)
+            self._ids[atom] = i
+            self._atoms.append(atom)
+            self._literals.append(Literal(atom, True))
+            self._literals.append(Literal(atom, False))
+        return i
+
+    def id_of(self, atom: Atom) -> Optional[int]:
+        """The atom's id, or None when it was never interned."""
+        return self._ids.get(atom)
+
+    def atom(self, atom_id: int) -> Atom:
+        return self._atoms[atom_id]
+
+    def literal_id(self, literal: Literal) -> int:
+        """Intern the literal's atom and return the literal's dense id."""
+        return self.intern(literal.atom) * 2 + (0 if literal.positive else 1)
+
+    def literal(self, literal_id: int) -> Literal:
+        """Decode a literal id back to the (cached) literal object."""
+        return self._literals[literal_id]
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __contains__(self, atom: object) -> bool:
+        return atom in self._ids
+
+    def atoms(self) -> tuple[Atom, ...]:
+        """All interned atoms, in id order."""
+        return tuple(self._atoms)
+
+    def compact(self, live: Iterable[Atom]) -> tuple["AtomTable", dict[int, int]]:
+        """A fresh table over the live atoms plus an old-id → new-id map.
+
+        Relative id order of surviving atoms is preserved.  Atoms in
+        ``live`` that were never interned here are interned into the new
+        table (at the end, in iteration order) but do not appear in the
+        remap.
+        """
+        live_set = set(live)
+        table = AtomTable()
+        remap: dict[int, int] = {}
+        for old_id, atom in enumerate(self._atoms):
+            if atom in live_set:
+                remap[old_id] = table.intern(atom)
+                live_set.discard(atom)
+        for atom in sorted(live_set, key=str):
+            table.intern(atom)
+        return table, remap
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"AtomTable({len(self._atoms)} atoms)"
 
 
 class GroundRule:
@@ -117,11 +208,17 @@ class GroundProgram:
 
     ``base`` is the set of ground *atoms* (the paper's ``B_P``);
     interpretations are consistent subsets of ``base ∪ ¬base``.
+
+    ``atom_table`` interns every atom mentioned by a rule (⊆ base) to a
+    dense integer id; the compiled evaluation path addresses atoms and
+    literals through it.  It may be None for hand-built programs — the
+    dense index then interns on demand.
     """
 
     rules: tuple[GroundRule, ...]
     base: frozenset[Atom]
     universe: HerbrandUniverse
+    atom_table: Optional[AtomTable] = None
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -198,11 +295,12 @@ class Grounder:
             visible = program.visible_rules(component)
             star = Component("_star", tuple(r for _, r in visible))
             universe = universe_of(star, max_depth=self.options.max_depth)
-            rules = self._ground_tagged(visible, universe)
+            table = AtomTable()
+            rules = self._ground_tagged(visible, universe, table)
             base = self._base_for(star, universe, rules)
         if obs.enabled:
             self._flush_stats(obs, len(visible), rules, base)
-        return GroundProgram(rules, base, universe)
+        return GroundProgram(rules, base, universe, table)
 
     def ground_rules(
         self,
@@ -217,11 +315,12 @@ class Grounder:
             if universe is None:
                 universe = universe_of(comp, max_depth=self.options.max_depth)
             tagged = tuple((component, r) for r in comp.rules)
-            ground = self._ground_tagged(tagged, universe)
+            table = AtomTable()
+            ground = self._ground_tagged(tagged, universe, table)
             base = self._base_for(comp, universe, ground)
         if obs.enabled:
             self._flush_stats(obs, len(tagged), ground, base)
-        return GroundProgram(ground, base, universe)
+        return GroundProgram(ground, base, universe, table)
 
     # ------------------------------------------------------------------
     # Internals
@@ -243,6 +342,7 @@ class Grounder:
         self,
         tagged_rules: Sequence[tuple[str, Rule]],
         universe: HerbrandUniverse,
+        table: Optional[AtomTable] = None,
     ) -> tuple[GroundRule, ...]:
         self._subs_tried = 0
         self._guard_pruned = 0
@@ -257,6 +357,10 @@ class Grounder:
                     continue
                 seen.add(instance)
                 produced.append(instance)
+                if table is not None:
+                    table.intern(instance.head.atom)
+                    for lit in instance.body:
+                        table.intern(lit.atom)
                 count += 1
                 if count > self.options.instance_cap:
                     raise GroundingError(

@@ -1,0 +1,219 @@
+"""The compiled (dense-integer) evaluation path: atom interning, the
+bitset backends, and the CSR watch-list compilation.
+
+The end-to-end guarantees (dense ≡ naive on random programs, backend
+bit-identity) live in ``tests/properties/test_dense_differential.py``;
+this file covers the building blocks directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiled import (
+    CompiledRuleIndex,
+    DenseFixpoint,
+    available_backends,
+    backend_name,
+    use_backend,
+)
+from repro.core.compiled.backend import (
+    PairedBitsets,
+    indices,
+    make_words,
+    popcount,
+    set_indices,
+)
+from repro.core.semantics import OrderedSemantics
+from repro.grounding.grounder import AtomTable
+from repro.lang.literals import Atom, Literal
+from repro.lang.terms import Constant
+from repro.workloads import paper
+
+
+def atom(name: str, *args: str) -> Atom:
+    return Atom(name, tuple(Constant(a) for a in args))
+
+
+class TestAtomTable:
+    def test_intern_is_idempotent_and_dense(self):
+        table = AtomTable()
+        a, b = atom("p", "x"), atom("q", "y")
+        assert table.intern(a) == 0
+        assert table.intern(b) == 1
+        assert table.intern(a) == 0  # stable on re-intern
+        assert len(table) == 2
+        assert table.atoms() == (a, b)
+        assert a in table and atom("r") not in table
+        assert table.id_of(b) == 1
+        assert table.id_of(atom("r")) is None
+
+    def test_literal_id_encoding_and_decode(self):
+        table = AtomTable()
+        a = atom("p", "x")
+        pos, neg = Literal(a, True), Literal(a, False)
+        pid = table.literal_id(pos)
+        nid = table.literal_id(neg)
+        assert pid == table.id_of(a) * 2
+        assert nid == pid + 1
+        assert nid == pid ^ 1  # complementation is a bit flip
+        assert table.literal(pid) == pos
+        assert table.literal(nid) == neg
+
+    def test_ids_stable_across_later_interning(self):
+        table = AtomTable()
+        first = [table.intern(atom("p", str(i))) for i in range(5)]
+        table.intern(atom("extra"))
+        assert [table.id_of(atom("p", str(i))) for i in range(5)] == first
+
+    def test_grounding_interns_every_rule_atom(self):
+        sem = OrderedSemantics(paper.figure1(), "c1")
+        table = sem.ground.atom_table
+        assert table is not None
+        for rule in sem.ground.rules:
+            assert rule.head.atom in table
+            for lit in rule.body:
+                assert lit.atom in table
+
+    def test_ids_stable_across_maintained_deltas(self):
+        sem = OrderedSemantics(paper.figure1(), "c1")
+        _ = sem.least_model
+        table = sem.ground.atom_table
+        penguin = atom("bird", "penguin")
+        before = table.id_of(penguin)
+        sem.apply_delta(retractions=[("c2", "bird(penguin)")])
+        # The maintained ground view keeps the same (append-only) table:
+        # no atom is re-interned, no id moves.
+        assert sem.ground.atom_table is table
+        assert table.id_of(penguin) == before
+        sem.apply_delta(assertions=[("c2", "bird(penguin)")])
+        assert sem.ground.atom_table is table
+        assert table.id_of(penguin) == before
+
+    def test_compact_after_retract_heavy_trace(self):
+        table = AtomTable()
+        ids = {i: table.intern(atom("p", str(i))) for i in range(10)}
+        survivors = [atom("p", str(i)) for i in (1, 4, 7)]
+        compacted, remap = table.compact(survivors)
+        assert len(compacted) == 3
+        # Relative order of survivors is preserved; ids are dense again.
+        assert remap == {ids[1]: 0, ids[4]: 1, ids[7]: 2}
+        assert compacted.atoms() == tuple(survivors)
+        # The original table is untouched (compaction never mutates ids).
+        assert len(table) == 10
+        assert table.id_of(atom("p", "1")) == ids[1]
+
+    def test_compact_interns_unseen_live_atoms_without_remap(self):
+        table = AtomTable(atoms=[atom("p")])
+        compacted, remap = table.compact([atom("p"), atom("fresh")])
+        assert remap == {0: 0}
+        assert atom("fresh") in compacted
+
+
+class TestBackends:
+    def test_available_backends_always_include_python(self):
+        assert "python" in available_backends()
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_word_primitives_roundtrip(self, backend):
+        bits = [0, 1, 63, 64, 65, 127, 130]
+        words = make_words(131, backend)
+        set_indices(words, bits)
+        assert popcount(words) == len(bits)
+        assert list(indices(words)) == bits
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_paired_bitsets_split_polarity(self, backend):
+        literal_ids = [0, 3, 4]  # atom 0 true, atom 1 false, atom 2 true
+        pair = PairedBitsets.from_literal_ids(literal_ids, 3, backend)
+        assert pair.is_true(0) and not pair.is_false(0)
+        assert pair.is_false(1) and not pair.is_true(1)
+        assert pair.is_true(2)
+        assert pair.true_count() == 2 and pair.false_count() == 1
+        assert len(pair) == 3
+        assert sorted(pair.literal_ids()) == [0, 3, 4]
+
+    def test_use_backend_scopes_and_restores(self):
+        original = backend_name()
+        with use_backend("python") as active:
+            assert active == "python"
+            assert backend_name() == "python"
+        assert backend_name() == original
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            with use_backend("fortran"):
+                pass  # pragma: no cover - never reached
+
+
+class TestCompiledRuleIndex:
+    @pytest.fixture()
+    def semantics(self):
+        return OrderedSemantics(paper.figure1(), "c1")
+
+    def test_csr_matches_object_watch_lists(self, semantics):
+        index = semantics.evaluator.index
+        compiled = index.compiled
+        table = compiled.table
+        for lit, rule_ids in index.body_watch.items():
+            assert sorted(compiled.body_watchers(table.literal_id(lit))) == sorted(
+                rule_ids
+            )
+        for lit, rule_ids in index.block_watch.items():
+            assert sorted(compiled.block_watchers(table.literal_id(lit))) == sorted(
+                rule_ids
+            )
+        assert list(compiled.heads) == [
+            table.literal_id(r.head) for r in index.rules
+        ]
+        assert list(compiled.body_sizes) == list(index.body_sizes)
+        assert list(compiled.init_live_overrulers) == [
+            len(ids) for ids in index.overrulers
+        ]
+        assert list(compiled.init_live_defeaters) == [
+            len(ids) for ids in index.defeaters
+        ]
+
+    def test_compiled_index_is_cached(self, semantics):
+        index = semantics.evaluator.index
+        assert index.compiled is index.compiled
+
+    def test_compiled_reuses_grounding_table(self, semantics):
+        assert semantics.evaluator.index.compiled.table is (
+            semantics.ground.atom_table
+        )
+
+    def test_compiles_without_a_table(self, semantics):
+        # A RuleIndex built from an evaluator with no atom table (e.g.
+        # constructed directly in tests) interns a private table.
+        compiled = CompiledRuleIndex(semantics.evaluator.index, None)
+        assert len(compiled.table) > 0
+        assert compiled.n_rules == len(semantics.evaluator.rules)
+
+    def test_dense_fixpoint_matches_least_model(self, semantics):
+        compiled = semantics.evaluator.index.compiled
+        data = DenseFixpoint(compiled).run(bound=100)
+        assert frozenset(data.literals()) == semantics.least_model.literals
+
+
+PAPER_FIGURES = [
+    ("figure1", paper.figure1(), "c1"),
+    ("figure2", paper.figure2(), "c1"),
+    ("figure3", paper.figure3(["inflation(12)."]), "c1"),
+]
+
+
+@pytest.mark.parametrize(
+    "program, component",
+    [(p, c) for _, p, c in PAPER_FIGURES],
+    ids=[n for n, _, _ in PAPER_FIGURES],
+)
+def test_pure_python_backend_reproduces_paper_figures(program, component):
+    """The numpy-less fallback must agree with naive iteration on the
+    paper's figures — the tier-1 guarantee behind ``repro[fast]`` being
+    a truly optional extra."""
+    with use_backend("python"):
+        semi = OrderedSemantics(program, component, strategy="seminaive")
+        dense_model = semi.least_model.literals
+    naive = OrderedSemantics(program, component, strategy="naive")
+    assert dense_model == naive.least_model.literals
