@@ -2,7 +2,7 @@
 """Gate: the built-in workloads must stay warning-clean under the
 static analyzer.
 
-Usage: PYTHONPATH=src python scripts/check_workloads.py
+Usage: PYTHONPATH=src python scripts/check_workloads.py [--abstract]
 
 Runs ``repro.analysis.static.analyze_program`` over every curated
 built-in workload (paper figures and examples, their scaled variants,
@@ -10,6 +10,13 @@ the hierarchy/expert generators and the reduction outputs) and fails
 when any of them reports a warning-or-worse diagnostic.  Informational
 notes (potential defeats, stratification labels) are expected and do
 not fail the gate.
+
+With ``--abstract`` the script additionally checks the abstract
+interpreter's claims against the concrete semantics of every component
+view: a predicate inferred underivable must have no literals in the
+view's least model, every cardinality interval must contain the true
+relation size, every inferred sort must admit the derived terms, and
+grounding with domain pruning must produce a bit-identical least model.
 
 Deliberately excluded, with the diagnostic each one legitimately
 triggers:
@@ -24,11 +31,21 @@ triggers:
 
 from __future__ import annotations
 
+import argparse
 import sys
+from collections import Counter
 
+from repro.analysis.abstract import analyze_view, signed_name
 from repro.analysis.static import Severity, analyze_program
+from repro.core.semantics import OrderedSemantics
+from repro.grounding.grounder import GroundingOptions
+from repro.lang.program import Component, OrderedProgram
 from repro.reductions import ordered_version, three_level_version
-from repro.workloads import experts, hierarchies, paper, sessions
+from repro.workloads import classic, experts, hierarchies, paper, sessions
+
+#: Term-depth cap shared by the abstract and the concrete side of the
+#: ``--abstract`` gate, so both describe the same ground program.
+MAX_DEPTH = 3
 
 
 def workloads():
@@ -63,9 +80,68 @@ def workloads():
     yield "experts.expert_panel(3,3)", experts.expert_panel(3, 3)
     yield "experts.contradicting_panel(3)", experts.contradicting_panel(3)
     yield "sessions.interactive_session(4,6)", sessions.interactive_session(4, 6)
+    yield "classic.sparse_pairs(24,3)", OrderedProgram(
+        [Component("main", classic.sparse_pairs(24, 3))], []
+    )
 
 
-def main() -> int:
+def check_abstract(program) -> list[str]:
+    """Soundness errors from comparing inferred facts with every view's
+    concrete least model (empty list when the analysis is sound)."""
+    errors: list[str] = []
+    options = GroundingOptions(max_depth=MAX_DEPTH)
+    pruned = GroundingOptions(max_depth=MAX_DEPTH, domain_pruning=True)
+    for component in program.components():
+        view = component.name
+        analysis = analyze_view(program, view, max_depth=MAX_DEPTH)
+        if analysis is None:
+            errors.append(f"view {view}: universe construction failed")
+            continue
+        model = OrderedSemantics(program, view, grounding=options).least_model
+        sizes: Counter = Counter()
+        for literal in model.literals:
+            sizes[(literal.predicate, len(literal.args), literal.positive)] += 1
+        for key in analysis.keys:
+            fact = analysis.fact_for(*key)
+            true_size = sizes.get(key, 0)
+            label = f"view {view}, {signed_name(key)}"
+            if not fact.derivable and true_size:
+                errors.append(
+                    f"{label}: inferred underivable but model has "
+                    f"{true_size} literal(s)"
+                )
+            if fact.card.lo > true_size:
+                errors.append(
+                    f"{label}: lower bound {fact.card.lo} > true size {true_size}"
+                )
+            if fact.card.hi is not None and true_size > fact.card.hi:
+                errors.append(
+                    f"{label}: true size {true_size} > upper bound {fact.card.hi}"
+                )
+        for literal in model.literals:
+            if not analysis.admits(literal):
+                errors.append(
+                    f"view {view}: inferred sorts exclude derived {literal}"
+                )
+        pruned_model = OrderedSemantics(
+            program, view, grounding=pruned
+        ).least_model
+        if pruned_model.literals != model.literals:
+            errors.append(
+                f"view {view}: pruned grounding changed the least model"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--abstract",
+        action="store_true",
+        help="also verify abstract-interpretation claims against the "
+        "concrete semantics of every component view",
+    )
+    args = parser.parse_args(argv)
     failures = 0
     total = 0
     for name, program in workloads():
@@ -73,17 +149,22 @@ def main() -> int:
         report = analyze_program(program)
         gating = report.gating(Severity.INFO)
         notes = len(report.diagnostics) - len(gating)
-        if gating:
+        problems = [str(d) for d in gating]
+        if args.abstract:
+            problems += check_abstract(program)
+        if problems:
             failures += 1
-            print(f"{name}: FAIL ({len(gating)} warning(s)+)")
-            for diagnostic in gating:
-                print(f"  {diagnostic}")
+            print(f"{name}: FAIL ({len(problems)} problem(s))")
+            for problem in problems:
+                print(f"  {problem}")
         else:
-            print(f"{name}: ok ({notes} informational note(s))")
+            suffix = ", abstract claims sound" if args.abstract else ""
+            print(f"{name}: ok ({notes} informational note(s){suffix})")
     if failures:
-        print(f"{failures}/{total} workload(s) have warning-level diagnostics")
+        print(f"{failures}/{total} workload(s) failed")
         return 1
-    print(f"all {total} workloads warning-clean")
+    label = "warning-clean and abstract-sound" if args.abstract else "warning-clean"
+    print(f"all {total} workloads {label}")
     return 0
 
 

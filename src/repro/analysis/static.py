@@ -48,6 +48,7 @@ from ..lang.program import OrderedProgram
 from ..lang.rules import Rule
 from ..lang.terms import Compound, walk_terms
 from ..obs import get_instrumentation
+from .abstract import AbstractAnalysis, analyze_whole_program, signed_name
 
 __all__ = [
     "Severity",
@@ -78,6 +79,9 @@ DIAGNOSTIC_CODES: Mapping[str, str] = {
     "potential-defeat": "info",
     "function-growth": "warning",
     "stratification": "info",
+    "type-clash": "warning",
+    "provably-empty": "info",
+    "dead-rule": "info",
 }
 
 
@@ -721,11 +725,20 @@ def _check_potential_defeat(pdg: PredicateDependencyGraph) -> list[Diagnostic]:
 
 
 def _check_function_growth(
-    program: OrderedProgram, pdg: PredicateDependencyGraph
+    program: OrderedProgram,
+    pdg: PredicateDependencyGraph,
+    abstract: Optional["AbstractAnalysis"] = None,
 ) -> list[Diagnostic]:
     """A recursive rule whose head buries a variable inside a function
     symbol grows the term depth every round: grounding (and therefore
-    the fixpoint) only terminates because of the ``max_depth`` cutoff."""
+    the fixpoint) only terminates because of the ``max_depth`` cutoff.
+
+    The syntactic pattern alone over-warns: recursion like
+    ``p(f(X)) :- p(X), d(X).`` is depth-bounded when ``d`` holds only
+    constants.  When the abstract interpretation proves a finite
+    term-depth bound for the head predicate, the warning is suppressed;
+    the syntactic heuristic remains the fallback whenever inference
+    reaches ⊤."""
     out = []
     for comp in sorted(program.components(), key=lambda c: c.name):
         for r in comp.rules:
@@ -747,6 +760,11 @@ def _check_function_growth(
             )
             if not growing:
                 continue
+            if (
+                abstract is not None
+                and abstract.literal_fact(r.head).depth_bound() is not None
+            ):
+                continue
             terms = ", ".join(growing)
             out.append(
                 Diagnostic(
@@ -761,6 +779,109 @@ def _check_function_growth(
                     fix_hint=(
                         "bound the recursion with a guard or domain "
                         "predicate, or rely on --max-depth deliberately"
+                    ),
+                )
+            )
+    return out
+
+
+def _check_abstract(
+    program: OrderedProgram, abstract: AbstractAnalysis
+) -> list[Diagnostic]:
+    """Semantic diagnostics from the whole-program abstract
+    interpretation (:mod:`repro.analysis.abstract`).
+
+    The abstraction ignores overruling/defeating, so its *negative*
+    claims (underivable, never matches) over-approximate every
+    component view: a predicate it proves empty is empty in every
+    view's least model, making these findings sound program-wide."""
+    out = []
+    heads = abstract.signed_heads
+    # Provably-empty: predicates with rules that can never fire.
+    for key in abstract.keys:
+        if key not in heads:
+            # Body-only signatures are the undefined-predicate check's
+            # territory; here we only grade predicates that have rules.
+            continue
+        fact = abstract.fact_for(*key)
+        if fact.derivable:
+            continue
+        out.append(
+            Diagnostic(
+                code="provably-empty",
+                severity=Severity.INFO,
+                location=f"predicate {fact.name}",
+                message=(
+                    f"{fact.name} has rules but is underivable in every "
+                    "component view: no chain of rules can ever establish "
+                    "its body"
+                ),
+                fix_hint=(
+                    f"supply facts for the predicates {fact.name} depends "
+                    "on, or remove its rules"
+                ),
+            )
+        )
+    for comp in sorted(program.components(), key=lambda c: c.name):
+        for r in comp.rules:
+            # Type-clash: a ground argument at a call site falls outside
+            # the inferred sort of a derivable predicate.
+            clash = abstract.unmatchable_argument(r)
+            if clash is not None:
+                literal, position, term = clash
+                out.append(
+                    Diagnostic(
+                        code="type-clash",
+                        severity=Severity.WARNING,
+                        location=f"component {comp.name}: {r}",
+                        message=(
+                            f"argument {term} (position {position + 1} of "
+                            f"{literal}) lies outside every value "
+                            + signed_name(
+                                (
+                                    literal.predicate,
+                                    len(literal.args),
+                                    literal.positive,
+                                )
+                            )
+                            + " can take, so the literal never matches"
+                        ),
+                        fix_hint=(
+                            f"check the constant {term} for a typo, or add "
+                            "a rule deriving it"
+                        ),
+                    )
+                )
+            if r.is_fact or not abstract.rule_dead(r):
+                continue
+            culprit = abstract.dead_body_literal(r)
+            if culprit is not None:
+                key = (culprit.predicate, len(culprit.args), culprit.positive)
+                if key not in heads:
+                    # Headed nowhere: undefined-predicate (positive
+                    # literals) already warns; for negative literals the
+                    # missing ¬-heads make the rule dead — still ours.
+                    if culprit.positive:
+                        continue
+                reason = f"body literal {culprit} is underivable"
+            elif clash is not None:
+                reason = "a body argument lies outside its predicate's values"
+            else:
+                reason = (
+                    "its body constraints (sorts and guards) are jointly "
+                    "unsatisfiable"
+                )
+            out.append(
+                Diagnostic(
+                    code="dead-rule",
+                    severity=Severity.INFO,
+                    location=f"component {comp.name}: {r}",
+                    message=(
+                        f"the rule can never fire in any component view: "
+                        f"{reason}"
+                    ),
+                    fix_hint=(
+                        "make the body derivable or remove the rule"
                     ),
                 )
             )
@@ -804,6 +925,9 @@ class StaticReport:
     pdg: PredicateDependencyGraph
     diagnostics: tuple[Diagnostic, ...]
     views: Mapping[str, ViewClassification]
+    #: The whole-program abstract interpretation the semantic
+    #: diagnostics were drawn from (None for hand-built reports).
+    abstract: Optional[AbstractAnalysis] = field(default=None, compare=False)
 
     def by_code(self) -> Mapping[str, int]:
         counts: dict[str, int] = {}
@@ -851,6 +975,9 @@ class StaticReport:
                 "sccs": [sorted(f"{s[0]}/{s[1]}" for s in scc)
                          for scc in self.pdg.sccs],
             },
+            "abstract": (
+                self.abstract.to_dict() if self.abstract is not None else None
+            ),
         }
 
     def render(self) -> str:
@@ -886,6 +1013,7 @@ def analyze_program(program: OrderedProgram) -> StaticReport:
         rules=program.rule_count(),
     ):
         pdg = build_pdg(program)
+        abstract = analyze_whole_program(program)
         diagnostics: list[Diagnostic] = []
         diagnostics.extend(_check_safety(program))
         diagnostics.extend(_check_undefined(program, pdg))
@@ -893,10 +1021,11 @@ def analyze_program(program: OrderedProgram) -> StaticReport:
         diagnostics.extend(_check_unused_heads(pdg))
         diagnostics.extend(_check_unreachable_components(program))
         diagnostics.extend(_check_potential_defeat(pdg))
-        diagnostics.extend(_check_function_growth(program, pdg))
+        diagnostics.extend(_check_abstract(program, abstract))
+        diagnostics.extend(_check_function_growth(program, pdg, abstract))
         strat_diags, views = _check_stratification(program)
         diagnostics.extend(strat_diags)
-        report = StaticReport(pdg, tuple(diagnostics), views)
+        report = StaticReport(pdg, tuple(diagnostics), views, abstract)
         obs.count("check.diagnostics", len(diagnostics))
         for code, n in sorted(report.by_code().items()):
             obs.count(f"check.diagnostic.{code}", n)

@@ -153,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one JSON report per file",
     )
     check.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit one SARIF 2.1.0 log covering every file (for code "
+        "review tooling; mutually exclusive with --json)",
+    )
+    check.add_argument(
+        "--facts",
+        action="store_true",
+        help="also print the abstract interpretation's inferred "
+        "types/modes/cardinalities per file (text output only)",
+    )
+    check.add_argument(
         "--max-severity",
         choices=["info", "warning", "error"],
         default="info",
@@ -515,8 +527,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis.static import Severity, analyze_program
 
+    if args.json and args.sarif:
+        raise ReproError("--json and --sarif are mutually exclusive")
     gate = Severity.parse(args.max_severity)
     payloads = []
+    reports = []
     failed = False
     for path in args.files:
         program = _load(path)
@@ -524,7 +539,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         gating = report.gating(gate)
         if gating:
             failed = True
-        if args.json:
+        if args.sarif:
+            reports.append((path, report))
+        elif args.json:
             payload = report.to_dict()
             payload["file"] = path
             payload["gating"] = len(gating)
@@ -532,12 +549,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else:
             print(f"{path}:")
             print(report.render())
+            if args.facts and report.abstract is not None:
+                print("  inferred facts:")
+                for line in report.abstract.render().splitlines():
+                    print(f"  {line}")
             if gating:
                 print(
                     f"  FAIL: {len(gating)} diagnostic(s) above "
                     f"--max-severity={args.max_severity}"
                 )
-    if args.json:
+    if args.sarif:
+        from .analysis.sarif import sarif_log
+
+        print(json.dumps(sarif_log(reports), indent=2, sort_keys=True))
+    elif args.json:
         print(json.dumps(payloads, indent=2, sort_keys=True))
     _print_metrics(args)
     return 1 if failed else 0

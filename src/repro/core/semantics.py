@@ -72,7 +72,9 @@ class OrderedSemantics:
     #: cached_property names cleared on every program mutation.
     _CACHED = (
         "ground",
+        "full_ground",
         "evaluator",
+        "full_evaluator",
         "transform",
         "checker",
         "assumptions",
@@ -112,8 +114,32 @@ class OrderedSemantics:
     # ------------------------------------------------------------------
     @cached_property
     def ground(self) -> GroundProgram:
-        """``ground(C*)`` plus the Herbrand base of ``C*``."""
+        """``ground(C*)`` plus the Herbrand base of ``C*``.
+
+        When :attr:`GroundingOptions.domain_pruning` is on, this is the
+        *pruned* grounding — sound for the least model only.  The
+        enumeration-side machinery reads :attr:`full_ground` instead.
+        """
         return Grounder(self._grounding_options).ground_component_star(
+            self.program, self.component
+        )
+
+    @cached_property
+    def full_ground(self) -> GroundProgram:
+        """The unpruned ``ground(C*)``.
+
+        Identical to :attr:`ground` unless domain pruning is enabled;
+        Definition-3 model checking and enumeration must see every
+        ground instance (a never-applicable rule still constrains which
+        total interpretations are models), so they ground without
+        pruning.
+        """
+        if not self._grounding_options.domain_pruning:
+            return self.ground
+        from dataclasses import replace
+
+        options = replace(self._grounding_options, domain_pruning=False)
+        return Grounder(options).ground_component_star(
             self.program, self.component
         )
 
@@ -126,6 +152,18 @@ class OrderedSemantics:
         )
 
     @cached_property
+    def full_evaluator(self) -> StatusEvaluator:
+        """Status evaluator over the unpruned grounding (shared with
+        :attr:`evaluator` when pruning is off)."""
+        if not self._grounding_options.domain_pruning:
+            return self.evaluator
+        return StatusEvaluator(
+            self.full_ground.rules,
+            ComponentOrder(self.program.order),
+            atom_table=self.full_ground.atom_table,
+        )
+
+    @cached_property
     def transform(self) -> OrderedTransform:
         return OrderedTransform(
             self.evaluator, self.ground.base, strategy=self._engine_strategy
@@ -133,17 +171,17 @@ class OrderedSemantics:
 
     @cached_property
     def checker(self) -> ModelChecker:
-        return ModelChecker(self.evaluator, self.ground.base)
+        return ModelChecker(self.full_evaluator, self.full_ground.base)
 
     @cached_property
     def assumptions(self) -> AssumptionAnalyzer:
-        return AssumptionAnalyzer(self.evaluator, self.ground.base)
+        return AssumptionAnalyzer(self.full_evaluator, self.full_ground.base)
 
     @cached_property
     def enumerator(self) -> ModelEnumerator:
         return ModelEnumerator(
-            self.evaluator,
-            self.ground.base,
+            self.full_evaluator,
+            self.full_ground.base,
             self._budget,
             strategy=self._engine_strategy,
         )
@@ -321,6 +359,9 @@ class OrderedSemantics:
             and self.strategy != CLASSICAL_STRATEGY
             and have_model
             and not unsupported
+            # A fact delta can revive rules the pruned grounding never
+            # emitted, which refcount maintenance cannot see; re-ground.
+            and not self._grounding_options.domain_pruning
         )
         if not use_engine:
             self.program = new_program
@@ -448,7 +489,7 @@ class OrderedSemantics:
         """Status report of every ground rule under ``interp`` (defaults
         to the least model)."""
         interp = interp if interp is not None else self.least_model
-        return list(self.evaluator.reports(interp))
+        return list(self.full_evaluator.reports(interp))
 
     # ------------------------------------------------------------------
     # Model checking and enumeration

@@ -19,14 +19,15 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence
 
-from ..lang.terms import Term
+from ..lang.terms import Term, Variable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..lang.literals import Literal
     from .relation import Relation
 
-__all__ = ["TermInterner", "ColumnarIndex", "merge_join"]
+__all__ = ["TermInterner", "ColumnarIndex", "merge_join", "plan_join"]
 
 
 class TermInterner:
@@ -172,3 +173,39 @@ def merge_join(
                 for b in range(j, j_end):
                     yield la, rorder[b]
             i, j = i_end, j_end
+
+
+def plan_join(
+    literals: Sequence["Literal"],
+    cardinality: Callable[["Literal"], Optional[int]],
+) -> tuple[int, ...]:
+    """A join order over conjunctive body literals, as indices into
+    ``literals``: smallest estimated relation first, then greedily the
+    cheapest literal *connected* to the already-bound variables.
+
+    ``cardinality`` maps a literal to an upper bound on its relation
+    size (typically ``CardInterval.hi`` from
+    :mod:`repro.analysis.abstract`); None means unknown and sorts last
+    within its connectivity class.  Ties break on the textual position,
+    so planning is deterministic and a no-information plan degenerates
+    to textual order.  Any permutation of a conjunction is
+    semantics-preserving — the planner only chooses evaluation cost.
+    """
+    remaining = list(range(len(literals)))
+    bound: set[Variable] = set()
+    order: list[int] = []
+
+    def rank(i: int) -> tuple[bool, float, int]:
+        lit = literals[i]
+        card = cardinality(lit)
+        estimate = float("inf") if card is None else float(card)
+        variables = lit.variables()
+        connected = not order or not variables or bool(variables & bound)
+        return (not connected, estimate, i)
+
+    while remaining:
+        best = min(remaining, key=rank)
+        remaining.remove(best)
+        order.append(best)
+        bound |= literals[best].variables()
+    return tuple(order)

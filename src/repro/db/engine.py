@@ -123,7 +123,10 @@ class DatalogEngine:
     """
 
     def __init__(
-        self, rules: Sequence[Rule], database: Optional[Database] = None
+        self,
+        rules: Sequence[Rule],
+        database: Optional[Database] = None,
+        plan_joins: bool = True,
     ) -> None:
         rules = tuple(rules)
         _check_safety(rules)
@@ -137,7 +140,45 @@ class DatalogEngine:
         for r in rules:
             if r.is_fact and r.is_ground:
                 self._database.insert(r.head.predicate, r.head.args)
+        self._plan_joins = plan_joins
+        self._plans: dict[int, tuple[int, ...]] = {}
         self._total: Optional[_Store] = None
+
+    def _build_plans(self) -> None:
+        """Order each rule's positive-literal conjunction by the
+        abstract interpretation's cardinality bounds (smallest relation
+        first, connected literals next) instead of textual order.
+
+        The engine's negation is negation-as-failure, not the paper's
+        classical ``¬``, so negative literals are stripped before the
+        analysis (removing a NAF literal only widens satisfiability —
+        the bounds stay sound as estimates).  Plans only reorder a
+        commutative conjunction, so any plan is semantics-preserving.
+        """
+        from ..analysis.abstract import analyze_rules
+        from .columnar import plan_join
+
+        positive_rules = [
+            Rule(r.head, [*(l for l in r.body_literals() if l.positive), *r.guards()])
+            for r in self._rules
+        ]
+        analysis = analyze_rules(positive_rules, edb=list(self._database))
+
+        def estimate(literal: Literal) -> Optional[int]:
+            return analysis.literal_fact(literal).card.hi
+
+        reorders = 0
+        for r in self._rules:
+            positives = [l for l in r.body_literals() if l.positive]
+            if len(positives) < 2:
+                continue
+            plan = plan_join(positives, estimate)
+            if plan != tuple(range(len(positives))):
+                self._plans[id(r)] = plan
+                reorders += 1
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.count("analysis.join_reorders", reorders)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -152,6 +193,8 @@ class DatalogEngine:
         total = _Store()
         edb_rows = 0
         with obs.span("db.evaluate", rules=len(self._rules)):
+            if self._plan_joins:
+                self._build_plans()
             for relation in self._database:
                 for row in relation.rows:
                     total.add((relation.name, relation.arity), row)
@@ -224,6 +267,9 @@ class DatalogEngine:
         required to match a delta row (semi-naive restriction).
         """
         positives = [l for l in r.body_literals() if l.positive]
+        plan = self._plans.get(id(r))
+        if plan is not None:
+            positives = [positives[i] for i in plan]
         negatives = [l for l in r.body_literals() if not l.positive]
         guards = r.guards()
 

@@ -6,21 +6,39 @@ came from — the paper's ``C(r)`` function ("if a rule occurs in more than
 one component then we assume that it has distinct ground instances so
 that C is actually a function from ground instances to components").
 
-**Why no relevance-based pruning.**  In ordered programs a rule can
-*defeat* or *overrule* another while being merely *non-blocked* — it need
-not be applicable (Definition 2).  A ground instance whose body atoms are
-underivable can therefore still change the meaning of a program, so the
-grounder must emit the full instantiation over the Herbrand universe.
-The only safe reductions, both applied here, are (a) evaluating
-comparison guards as soon as their variables are bound, dropping
-instances with false guards, and (b) deduplicating identical instances
-within a component.
+**When relevance-based pruning is sound.**  In ordered programs a rule
+can *defeat* or *overrule* another while being merely *non-blocked* — it
+need not be applicable (Definition 2).  A ground instance whose body
+atoms are underivable can therefore still change the meaning of a
+program, so by default the grounder emits the full instantiation over
+the Herbrand universe; the always-safe reductions applied are
+(a) evaluating comparison guards as soon as their variables are bound,
+dropping instances with false guards, and (b) deduplicating identical
+instances within a component.
+
+With :attr:`GroundingOptions.domain_pruning` enabled, the grounder
+additionally consults the abstract interpretation
+(:mod:`repro.analysis.abstract`) and drops instances whose body is
+provably unsatisfiable — but **only** for *prune-safe* rules: rules
+whose head's complement is headed by no rule in the view, so no
+instance can ever act as the overruler or defeater of another rule
+(statuses consult only complementary heads).  For those rules the
+instance is inert unless applicable, and an instance with an
+underivable body literal is never applicable in the least model, so
+dropping it preserves ``V_{P,C}``'s least fixpoint.  Pruning is **not**
+sound for Definition-3 model *enumeration* (a never-applicable rule
+still constrains which total interpretations are models), which is why
+:class:`repro.core.semantics.OrderedSemantics` keeps an unpruned
+grounding for the enumeration-side consumers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.abstract import RuleRestriction
 
 from ..lang.builtins import Comparison
 from ..lang.errors import GroundingError
@@ -219,6 +237,9 @@ class GroundProgram:
     base: frozenset[Atom]
     universe: HerbrandUniverse
     atom_table: Optional[AtomTable] = None
+    #: Source rules skipped entirely by domain pruning (statically dead
+    #: under the abstract interpretation); 0 when pruning was off.
+    pruned_rules: int = 0
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -253,11 +274,18 @@ class GroundingOptions:
             the full Herbrand base; when False it is restricted to atoms
             mentioned by ground rules (sufficient for least/AF/stable
             model computation, smaller for enumeration).
+        domain_pruning: when True, run the abstract interpretation over
+            the rule set first and, for prune-safe rules (see the module
+            docstring), restrict variable enumeration to the inferred
+            argument domains and skip statically dead rules outright.
+            Sound for least-model computation only — keep it off for
+            model enumeration.
     """
 
     max_depth: Optional[int] = None
     instance_cap: int = 5_000_000
     full_base: bool = True
+    domain_pruning: bool = False
 
 
 class Grounder:
@@ -277,6 +305,7 @@ class Grounder:
         self._subs_tried = 0
         self._guard_pruned = 0
         self._deduped = 0
+        self._pruned_rules = 0
 
     # ------------------------------------------------------------------
     # Entry points
@@ -296,11 +325,12 @@ class Grounder:
             star = Component("_star", tuple(r for _, r in visible))
             universe = universe_of(star, max_depth=self.options.max_depth)
             table = AtomTable()
-            rules = self._ground_tagged(visible, universe, table)
+            restrictions = self._restrictions(star.rules, universe)
+            rules = self._ground_tagged(visible, universe, table, restrictions)
             base = self._base_for(star, universe, rules)
         if obs.enabled:
             self._flush_stats(obs, len(visible), rules, base)
-        return GroundProgram(rules, base, universe, table)
+        return GroundProgram(rules, base, universe, table, self._pruned_rules)
 
     def ground_rules(
         self,
@@ -316,11 +346,12 @@ class Grounder:
                 universe = universe_of(comp, max_depth=self.options.max_depth)
             tagged = tuple((component, r) for r in comp.rules)
             table = AtomTable()
-            ground = self._ground_tagged(tagged, universe, table)
+            restrictions = self._restrictions(comp.rules, universe)
+            ground = self._ground_tagged(tagged, universe, table, restrictions)
             base = self._base_for(comp, universe, ground)
         if obs.enabled:
             self._flush_stats(obs, len(tagged), ground, base)
-        return GroundProgram(ground, base, universe, table)
+        return GroundProgram(ground, base, universe, table, self._pruned_rules)
 
     # ------------------------------------------------------------------
     # Internals
@@ -338,20 +369,42 @@ class Grounder:
             found |= r.atoms()
         return frozenset(found)
 
+    def _restrictions(
+        self, rules: Sequence[Rule], universe: HerbrandUniverse
+    ) -> Optional[dict[Rule, "RuleRestriction"]]:
+        """Per-rule pruning decisions from the abstract interpretation,
+        or None when ``domain_pruning`` is off.  A rule mapping to None
+        inside the dict is not prune-safe and grounds in full."""
+        if not self.options.domain_pruning:
+            return None
+        # Imported lazily: repro.analysis.abstract consumes grounding
+        # types (HerbrandUniverse), not the other way around.
+        from ..analysis.abstract import analyze_rules
+
+        analysis = analyze_rules(rules, universe=universe)
+        return {r: analysis.restriction(r) for r in set(rules)}
+
     def _ground_tagged(
         self,
         tagged_rules: Sequence[tuple[str, Rule]],
         universe: HerbrandUniverse,
         table: Optional[AtomTable] = None,
+        restrictions: Optional[dict[Rule, "RuleRestriction"]] = None,
     ) -> tuple[GroundRule, ...]:
         self._subs_tried = 0
         self._guard_pruned = 0
         self._deduped = 0
+        self._pruned_rules = 0
         produced: list[GroundRule] = []
         seen: set[GroundRule] = set()
         count = 0
         for component, r in tagged_rules:
-            for instance in self._instances(r, component, universe):
+            restriction = restrictions.get(r) if restrictions else None
+            if restriction is not None and restriction.dead:
+                self._pruned_rules += 1
+                continue
+            domains = restriction.domains if restriction is not None else None
+            for instance in self._instances(r, component, universe, domains):
                 if instance in seen:
                     self._deduped += 1
                     continue
@@ -376,6 +429,7 @@ class Grounder:
         obs.count("ground.guard_pruned", self._guard_pruned)
         obs.count("ground.instances_kept", len(ground))
         obs.count("ground.instances_deduped", self._deduped)
+        obs.count("grounding.pruned_rules", self._pruned_rules)
         obs.gauge("ground.base_atoms", len(base))
         obs.event(
             "ground.done",
@@ -398,7 +452,11 @@ class Grounder:
             return False
 
     def _instances(
-        self, r: Rule, component: str, universe: HerbrandUniverse
+        self,
+        r: Rule,
+        component: str,
+        universe: HerbrandUniverse,
+        domains: Optional[Mapping[Variable, tuple[Term, ...]]] = None,
     ) -> Iterator[GroundRule]:
         variables = sorted(r.variables(), key=str)
         if not variables:
@@ -419,7 +477,9 @@ class Grounder:
             last = max(var_index[v] for v in guard.variables()) if guard.variables() else -1
             guard_trigger.setdefault(last, []).append(guard)
         bindings: dict[Variable, Term] = {}
-        yield from self._assign(r, component, universe, variables, 0, bindings, guard_trigger)
+        yield from self._assign(
+            r, component, universe, variables, 0, bindings, guard_trigger, domains or {}
+        )
 
     def _assign(
         self,
@@ -430,6 +490,7 @@ class Grounder:
         index: int,
         bindings: dict[Variable, Term],
         guard_trigger: dict[int, list[Comparison]],
+        domains: Mapping[Variable, tuple[Term, ...]],
     ) -> Iterator[GroundRule]:
         if index == len(variables):
             for guard in guard_trigger.get(-1, ()):
@@ -439,7 +500,7 @@ class Grounder:
             yield self._make_ground(r, Substitution(bindings), component)
             return
         v = variables[index]
-        for term in universe.terms:
+        for term in domains.get(v, universe.terms):
             self._subs_tried += 1
             bindings[v] = term
             ok = True
@@ -450,7 +511,8 @@ class Grounder:
                     break
             if ok:
                 yield from self._assign(
-                    r, component, universe, variables, index + 1, bindings, guard_trigger
+                    r, component, universe, variables, index + 1,
+                    bindings, guard_trigger, domains,
                 )
         del bindings[v]
 

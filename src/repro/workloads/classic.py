@@ -7,7 +7,10 @@
   and a trailing cycle leaves positions undefined;
 * :func:`even_odd` — mutual recursion through negation (stratified);
 * :func:`two_stable` — ``n`` independent choice pairs, giving ``2^n``
-  stable models (stable-enumeration scaling).
+  stable models (stable-enumeration scaling);
+* :func:`sparse_pairs` — a sparse-domain workload where most of the
+  Herbrand universe is irrelevant to the join rule, built to measure
+  the abstract-interpretation domain pruning of the grounder.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from __future__ import annotations
 from ..lang.parser import parse_rules
 from ..lang.rules import Rule
 
-__all__ = ["ancestor_chain", "win_move", "even_odd", "two_stable"]
+__all__ = ["ancestor_chain", "win_move", "even_odd", "two_stable", "sparse_pairs"]
 
 
 def ancestor_chain(length: int) -> list[Rule]:
@@ -61,6 +64,32 @@ def even_odd(limit: int) -> list[Rule]:
     lines.append("even(z0).")
     lines.append("odd(X) :- succ(Y, X), even(Y).")
     lines.append("even(X) :- succ(Y, X), odd(Y).")
+    return parse_rules("\n".join(lines))
+
+
+def sparse_pairs(n_pool: int, n_active: int) -> list[Rule]:
+    """A sparse-domain join: ``pair`` ranges over the few ``active``
+    constants while the universe holds ``n_pool`` pool constants.
+
+    Naive grounding instantiates the ``pair`` rule ``n_pool**2`` times;
+    with abstract domain pruning the grounder restricts both variables
+    to the inferred ``active`` sort and emits only ``n_active**2``
+    instances.  A guard-emptied ``phantom`` predicate feeds a ``ghost``
+    rule that the analysis proves dead, so the workload also exercises
+    whole-rule pruning (``grounding.pruned_rules``).
+    """
+    if n_pool < 1 or n_active < 1:
+        raise ValueError("n_pool and n_active must be positive")
+    if n_active > n_pool:
+        raise ValueError("n_active cannot exceed n_pool")
+    lines = [f"d({i})." for i in range(n_pool)]
+    lines += [f"active({i})." for i in range(n_active)]
+    lines.append("pair(X, Y) :- active(X), active(Y).")
+    # Guard over the *active* sort: it stays below the analyzer's
+    # finite-set cap at every pool size, so the emptiness proof (and
+    # with it the dead ghost rule) survives widening of the d sort.
+    lines.append("phantom(X) :- active(X), X < 0.")
+    lines.append("ghost(X) :- phantom(X), d(X).")
     return parse_rules("\n".join(lines))
 
 

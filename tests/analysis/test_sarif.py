@@ -1,0 +1,84 @@
+"""Unit tests for the SARIF 2.1.0 exporter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION, sarif_log
+from repro.analysis.static import DIAGNOSTIC_CODES, analyze_program
+from repro.lang.parser import parse_program
+from repro.workloads.paper import figure1
+
+
+def log_for(*programs):
+    reports = [
+        (f"prog{i}.olp", analyze_program(p)) for i, p in enumerate(programs)
+    ]
+    return reports, sarif_log(reports)
+
+
+class TestSarifLog:
+    def test_document_shell(self):
+        _, log = log_for(figure1())
+        assert log["version"] == SARIF_VERSION
+        assert log["$schema"] == SARIF_SCHEMA
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "olp-check"
+        assert run["columnKind"] == "unicodeCodePoints"
+
+    def test_every_diagnostic_code_has_a_rule(self):
+        _, log = log_for(figure1())
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == sorted(DIAGNOSTIC_CODES)
+        for r in rules:
+            assert r["shortDescription"]["text"]
+            assert r["defaultConfiguration"]["level"] in {
+                "note",
+                "warning",
+                "error",
+            }
+
+    def test_results_match_diagnostics(self):
+        reports, log = log_for(figure1())
+        (_, report) = reports[0]
+        results = log["runs"][0]["results"]
+        assert len(results) == len(report.diagnostics)
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        for result, diagnostic in zip(results, report.diagnostics):
+            assert result["ruleId"] == diagnostic.code
+            assert rules[result["ruleIndex"]]["id"] == diagnostic.code
+            assert diagnostic.message in result["message"]["text"]
+            (location,) = result["locations"]
+            assert (
+                location["logicalLocations"][0]["fullyQualifiedName"]
+                == diagnostic.location
+            )
+
+    def test_artifact_indices(self):
+        program = parse_program("component main { p(a). q :- p(b). }")
+        reports, log = log_for(figure1(), program)
+        run = log["runs"][0]
+        assert [a["location"]["uri"] for a in run["artifacts"]] == [
+            "prog0.olp",
+            "prog1.olp",
+        ]
+        clash = [r for r in run["results"] if r["ruleId"] == "type-clash"]
+        assert clash
+        physical = clash[0]["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"] == {
+            "uri": "prog1.olp",
+            "index": 1,
+        }
+
+    def test_warning_level_mapping(self):
+        program = parse_program("component main { p(a). q :- p(b). }")
+        _, log = log_for(program)
+        levels = {
+            r["ruleId"]: r["level"] for r in log["runs"][0]["results"]
+        }
+        assert levels["type-clash"] == "warning"
+
+    def test_json_serialisable(self):
+        _, log = log_for(figure1())
+        parsed = json.loads(json.dumps(log, sort_keys=True))
+        assert parsed["version"] == SARIF_VERSION

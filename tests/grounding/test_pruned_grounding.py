@@ -1,0 +1,72 @@
+"""Unit tests for abstract-interpretation domain pruning in the
+grounder (``GroundingOptions(domain_pruning=True)``)."""
+
+from __future__ import annotations
+
+from repro.grounding.grounder import Grounder, GroundingOptions
+from repro.lang.parser import parse_rules
+from repro.obs import instrumented
+from repro.workloads.classic import sparse_pairs
+from repro.workloads.paper import figure1
+
+PRUNED = GroundingOptions(domain_pruning=True)
+
+
+class TestDomainRestriction:
+    def test_sparse_join_restricted_to_inferred_sort(self):
+        rules = sparse_pairs(10, 2)
+        full = Grounder().ground_rules(rules)
+        pruned = Grounder(PRUNED).ground_rules(rules)
+        # 12 facts + 4 join instances; the full grounding carries the
+        # 100-instance join and the 10 ghost instances too.
+        assert len(pruned.rules) == 16
+        assert len(full.rules) == 122
+        assert full.pruned_rules == 0
+        assert pruned.pruned_rules == 2
+
+    def test_pruned_is_subset_of_full(self):
+        rules = sparse_pairs(8, 3)
+        full = {(r.head, r.body) for r in Grounder().ground_rules(rules).rules}
+        pruned = {(r.head, r.body) for r in Grounder(PRUNED).ground_rules(rules).rules}
+        assert pruned <= full
+
+    def test_dead_rule_counter(self):
+        rules = parse_rules("v(1). none(X) :- v(X), X > 9. use(X) :- none(X), v(X).")
+        with instrumented() as obs:
+            ground = Grounder(PRUNED).ground_rules(rules)
+            snapshot = obs.snapshot()
+        # Both the guard-emptied rule and its consumer are dead.
+        assert ground.pruned_rules == 2
+        assert snapshot["counters"]["grounding.pruned_rules"] == 2
+
+    def test_contradicted_heads_are_never_pruned(self):
+        # fly/¬fly contradict each other: their instances can overrule
+        # or defeat, so both sides must survive pruning untouched.
+        program = figure1()
+        full = Grounder().ground_component_star(program, "c1")
+        pruned = Grounder(PRUNED).ground_component_star(program, "c1")
+        full_fly = {
+            (r.head, r.body) for r in full.rules if r.head.predicate == "fly"
+        }
+        pruned_fly = {
+            (r.head, r.body) for r in pruned.rules if r.head.predicate == "fly"
+        }
+        assert pruned_fly == full_fly
+
+    def test_pruning_off_by_default(self):
+        rules = sparse_pairs(6, 2)
+        ground = Grounder().ground_rules(rules)
+        assert ground.pruned_rules == 0
+
+
+class TestComponentStar:
+    def test_component_star_prunes(self):
+        from repro.lang.program import Component, OrderedProgram
+
+        program = OrderedProgram(
+            [Component("main", sparse_pairs(10, 2))], []
+        )
+        full = Grounder().ground_component_star(program, "main")
+        pruned = Grounder(PRUNED).ground_component_star(program, "main")
+        assert len(pruned.rules) < len(full.rules)
+        assert pruned.pruned_rules == 2

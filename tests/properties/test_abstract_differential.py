@@ -1,0 +1,183 @@
+"""Differential testing: abstract-interpretation domain pruning must be
+semantically invisible, and the inferred facts must be sound.
+
+Two properties over paper figures, workload generators, and a seeded
+random sweep (``ABSTRACT_DIFF_PROGRAMS`` scales it in CI):
+
+* **Pruning invisibility** — grounding with ``domain_pruning=True``
+  yields bit-identical results for all four semantics (least model,
+  Definition-3 model enumeration, assumption-free models, stable
+  models) in every component view.  The least model may legitimately be
+  computed from the pruned grounding; enumeration always runs over the
+  full grounding (never-applicable rules still constrain total models),
+  and this sweep is the regression net for that split.
+* **Fact soundness** — for every view, every signed predicate the
+  analysis claims underivable has no literals in the concrete least
+  model, every cardinality interval contains the true relation size,
+  and every inferred sort admits every derived literal.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.analysis.abstract import analyze_view, signed_name
+from repro.core.semantics import OrderedSemantics
+from repro.grounding.grounder import GroundingOptions
+from repro.lang.program import Component, OrderedProgram
+from repro.reductions import extended_version, ordered_version, three_level_version
+from repro.workloads import classic, experts, hierarchies, paper
+from repro.workloads.random_programs import random_ordered_program
+
+#: Number of seeded random programs swept (overridable from CI).
+N_RANDOM_PROGRAMS = int(os.environ.get("ABSTRACT_DIFF_PROGRAMS", "200"))
+
+#: Shared term-depth cap so the abstract and concrete sides describe
+#: the same ground program.
+MAX_DEPTH = 3
+
+FULL = GroundingOptions(max_depth=MAX_DEPTH)
+PRUNED = GroundingOptions(max_depth=MAX_DEPTH, domain_pruning=True)
+
+
+def model_set(models):
+    return {frozenset(m.literals) for m in models}
+
+
+def assert_pruning_invisible(program, component, enumerate_models=True):
+    full = OrderedSemantics(program, component, grounding=FULL)
+    pruned = OrderedSemantics(program, component, grounding=PRUNED)
+    assert pruned.least_model.literals == full.least_model.literals, (
+        f"least-model mismatch in view {component!r}"
+    )
+    if not enumerate_models:
+        # Herbrand base too large for the enumeration budget; the
+        # least-model comparison above is the meaningful differential
+        # (enumeration never reads the pruned grounding).
+        return
+    assert model_set(pruned.models()) == model_set(full.models()), (
+        f"model-enumeration mismatch in view {component!r}"
+    )
+    assert model_set(pruned.assumption_free_models()) == model_set(
+        full.assumption_free_models()
+    ), f"assumption-free mismatch in view {component!r}"
+    assert model_set(pruned.stable_models()) == model_set(
+        full.stable_models()
+    ), f"stable-model mismatch in view {component!r}"
+
+
+def assert_facts_sound(program, component):
+    analysis = analyze_view(program, component, max_depth=MAX_DEPTH)
+    if analysis is None:
+        pytest.fail(f"universe construction failed for view {component!r}")
+    model = OrderedSemantics(program, component, grounding=FULL).least_model
+    sizes: dict[tuple[str, int, bool], int] = {}
+    for literal in model.literals:
+        key = (literal.predicate, len(literal.args), literal.positive)
+        sizes[key] = sizes.get(key, 0) + 1
+    for key in analysis.keys:
+        fact = analysis.fact_for(*key)
+        true_size = sizes.get(key, 0)
+        label = f"view {component!r}, {signed_name(key)}"
+        assert fact.derivable or true_size == 0, (
+            f"{label}: inferred underivable but model has {true_size}"
+        )
+        assert fact.card.lo <= true_size, (
+            f"{label}: lower bound {fact.card.lo} > true size {true_size}"
+        )
+        assert fact.card.hi is None or true_size <= fact.card.hi, (
+            f"{label}: true size {true_size} > upper bound {fact.card.hi}"
+        )
+    for literal in model.literals:
+        assert analysis.admits(literal), (
+            f"view {component!r}: inferred sorts exclude derived {literal}"
+        )
+
+
+def every_component(program):
+    for name in sorted(program.component_names):
+        yield name
+
+
+def check_program(program, enumerate_models=True):
+    for component in every_component(program):
+        assert_pruning_invisible(program, component, enumerate_models)
+        assert_facts_sound(program, component)
+
+
+PAPER_PROGRAMS = [
+    ("figure1", paper.figure1()),
+    ("figure1_flat", paper.figure1_flat()),
+    ("figure2", paper.figure2()),
+    ("figure3_empty", paper.figure3()),
+    ("figure3_conflict", paper.figure3(["inflation(12).", "loan_rate(16)."])),
+    ("figure3_overrule", paper.figure3(["inflation(19).", "loan_rate(16)."])),
+    ("example4_extended", paper.example4_extended()),
+    ("example5", paper.example5()),
+    ("example6", ordered_version(paper.example6_ancestor()).program),
+    ("example7", ordered_version(paper.example7()).program),
+    ("example8", three_level_version(paper.example8_birds()).program),
+    ("scaled_figure1", paper.scaled_figure1(6, 3)),
+    ("scaled_figure2", paper.scaled_figure2(4, 2)),
+]
+
+
+@pytest.mark.parametrize(
+    "program", [p for _, p in PAPER_PROGRAMS], ids=[n for n, _ in PAPER_PROGRAMS]
+)
+def test_paper_programs(program):
+    check_program(program)
+
+
+#: (name, program, enumerate_models) — enumeration is skipped where the
+#: Herbrand base exceeds the search budget's up-front leaf estimate.
+WORKLOAD_PROGRAMS = [
+    ("override_chain", hierarchies.override_chain(4), True),
+    ("diamond", hierarchies.diamond(2), True),
+    ("taxonomy", hierarchies.taxonomy(6, 2), True),
+    ("release_chain", hierarchies.release_chain(3), True),
+    ("expert_panel", experts.expert_panel(2, 2), True),
+    ("contradicting_panel", experts.contradicting_panel(3), True),
+    ("ov_ancestor", ordered_version(classic.ancestor_chain(4)).program, True),
+    ("ov_win_move", ordered_version(classic.win_move(4, cycle=2)).program, True),
+    ("ev_even_odd", extended_version(classic.even_odd(4)).program, False),
+    ("3v_two_stable", three_level_version(classic.two_stable(2)).program, True),
+    (
+        "sparse_pairs",
+        OrderedProgram([Component("main", classic.sparse_pairs(12, 3))], []),
+        False,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "program,enumerate_models",
+    [(p, e) for _, p, e in WORKLOAD_PROGRAMS],
+    ids=[n for n, _, _ in WORKLOAD_PROGRAMS],
+)
+def test_workload_generators(program, enumerate_models):
+    check_program(program, enumerate_models)
+
+
+def test_random_program_sweep():
+    rng = random.Random(0xAB57)
+    checked = 0
+    for _trial in range(N_RANDOM_PROGRAMS):
+        program = random_ordered_program(
+            rng,
+            n_atoms=rng.randint(2, 5),
+            n_components=rng.randint(1, 4),
+            n_rules=rng.randint(1, 12),
+            max_body=rng.randint(0, 3),
+            neg_head_prob=rng.uniform(0.1, 0.6),
+            neg_body_prob=rng.uniform(0.1, 0.6),
+            order_density=rng.uniform(0.0, 1.0),
+        )
+        for component in every_component(program):
+            assert_pruning_invisible(program, component)
+            assert_facts_sound(program, component)
+            checked += 1
+    assert checked >= N_RANDOM_PROGRAMS

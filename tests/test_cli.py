@@ -185,6 +185,36 @@ class TestCheck:
         assert "== metrics ==" in out
         assert "check.diagnostics" in out
 
+    def test_sarif_payload(self, figure1_file, capsys):
+        import json
+
+        assert main(["check", figure1_file, "--sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "olp-check"
+        assert run["artifacts"][0]["location"]["uri"] == figure1_file
+
+    def test_sarif_keeps_gating_exit_code(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "unsafe.olp"
+        path.write_text("component c { p(X). }")
+        assert main(["check", str(path), "--sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        results = payload["runs"][0]["results"]
+        assert any(r["ruleId"] == "unsafe-rule" for r in results)
+
+    def test_sarif_and_json_are_exclusive(self, figure1_file, capsys):
+        assert main(["check", figure1_file, "--json", "--sarif"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_facts_dump(self, figure1_file, capsys):
+        assert main(["check", figure1_file, "--facts"]) == 0
+        out = capsys.readouterr().out
+        assert "inferred facts:" in out
+        assert "fly/1" in out and "card" in out
+
 
 class TestExamplesSmoke:
     """Every shipped example must parse and pass every read-only
