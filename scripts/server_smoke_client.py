@@ -16,6 +16,14 @@ the Prometheus ``/metrics`` + ``/healthz`` sidecar, the ``olp top``
 and ``olp slow`` clients against the live server, and a clean
 ``shutdown`` drain (subprocess must exit 0 and print its "drained and
 stopped" line).  Exits non-zero on the first surprise.
+
+A second phase smokes the replication topology from
+``docs/replication.md``: a leader with ``--wal`` journals writes and
+is drained, a restarted leader recovers the journaled version from
+disk, a ``--follow`` follower catches up over ``subscribe`` from that
+cold journal and then tracks a live write, its ``/metrics`` sidecar
+exposes ``repro_replica_lag_versions``, and both processes drain
+cleanly.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ import urllib.request
 HOST = "127.0.0.1"
 BANNER = re.compile(r"olp serve: listening on ([\d.]+):(\d+)")
 METRICS_BANNER = re.compile(r"olp serve: metrics on ([\d.]+):(\d+)")
+RECOVERED_BANNER = re.compile(r"olp serve: recovered version (\d+) from")
 
 
 def fail(message: str):
@@ -232,8 +241,160 @@ def main() -> int:
             server.wait()
 
 
+def spawn_serve(env: dict, *extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def read_banners(server: subprocess.Popen, *patterns: re.Pattern) -> list:
+    """Read stdout lines until every pattern has matched once; returns
+    the match objects in pattern order."""
+    found: dict[re.Pattern, re.Match] = {}
+    deadline = time.monotonic() + 20
+    assert server.stdout is not None
+    while len(found) < len(patterns) and time.monotonic() < deadline:
+        line = server.stdout.readline()
+        if not line:
+            fail("server exited before printing its banners")
+        for pattern in patterns:
+            if pattern not in found and (match := pattern.search(line)):
+                found[pattern] = match
+    missing = [p.pattern for p in patterns if p not in found]
+    if missing:
+        fail(f"missing banners: {missing}")
+    return [found[p] for p in patterns]
+
+
+def drain(server: subprocess.Popen, session: Session, banner: str) -> None:
+    """Request shutdown, then verify exit 0 and the drain banner."""
+    bye = session.expect_ok(id="drain", op="shutdown")
+    if bye["result"]["draining"] is not True:
+        fail(f"shutdown not acknowledged: {bye!r}")
+    session.close()
+    try:
+        code = server.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        fail("server did not exit after shutdown")
+    assert server.stdout is not None
+    tail = server.stdout.read()
+    if code != 0:
+        fail(f"server exited {code}: {tail!r}")
+    if banner not in tail:
+        fail(f"no {banner!r} banner in {tail!r}")
+
+
+def replication_smoke() -> None:
+    """Leader with a WAL -> drain -> recover -> follower catch-up from
+    the cold journal -> live tracking -> lag metric -> clean drains."""
+    import shutil
+    import tempfile
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    wal_dir = tempfile.mkdtemp(prefix="olp-smoke-wal-")
+    leader = follower = None
+    try:
+        # First incarnation: journal a few versions, then drain.
+        leader = spawn_serve(env, "--wal", wal_dir)
+        recovered, banner = read_banners(leader, RECOVERED_BANNER, BANNER)
+        if recovered.group(1) != "0":
+            fail(f"fresh WAL dir recovered version {recovered.group(1)}")
+        session = Session(int(banner.group(2)))
+        session.expect_ok(
+            id=1, op="define", view="bird",
+            rules="fly(X) :- bird_of(X).\nbird_of(tweety).",
+        )
+        session.expect_ok(
+            id=2, op="define", view="penguin",
+            rules="-fly(X) :- penguin_of(X).\nbird_of(X) :- penguin_of(X).",
+            isa=["bird"],
+        )
+        for i in range(5):
+            session.expect_ok(
+                id=f"w{i}", op="tell", view="penguin",
+                rules=f"penguin_of(p{i}).",
+            )
+        journaled = session.expect_ok(id=3, op="stats")["result"]["version"]
+        drain(leader, session, "drained and stopped")
+        print(f"smoke: leader journaled version {journaled} and drained")
+
+        # Second incarnation recovers the journal; a follower catches
+        # up from it over subscribe (nothing is in leader memory yet).
+        leader = spawn_serve(env, "--wal", wal_dir)
+        recovered, banner = read_banners(leader, RECOVERED_BANNER, BANNER)
+        if int(recovered.group(1)) != journaled:
+            fail(f"recovered {recovered.group(1)}, journaled {journaled}")
+        leader_port = int(banner.group(2))
+        follower = spawn_serve(
+            env, "--metrics-port", "0",
+            "--follow", f"{HOST}:{leader_port}",
+        )
+        banner, metrics = read_banners(follower, BANNER, METRICS_BANNER)
+        follower_session = Session(int(banner.group(2)))
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            stats = follower_session.expect_ok(id="s", op="stats")["result"]
+            if stats["version"] >= journaled:
+                break
+            time.sleep(0.05)
+        else:
+            fail(f"follower stuck at {stats['version']}, want {journaled}")
+        print(f"smoke: follower caught up to version {stats['version']} from cold journal")
+
+        # A live write flows through; the follower rejects writes.
+        leader_session = Session(leader_port)
+        leader_session.expect_ok(
+            id=4, op="tell", view="penguin", rules="penguin_of(live)."
+        )
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            reply = follower_session.expect_ok(
+                id="q", op="ask", view="penguin", pattern="-fly(live)"
+            )
+            if reply["result"]["holds"]:
+                break
+            time.sleep(0.05)
+        else:
+            fail("live write never reached the follower")
+        rejected = follower_session.call(
+            id="x", op="tell", view="penguin", rules="penguin_of(nope)."
+        )
+        if rejected.get("ok") or rejected["error"]["code"] != "not_leader":
+            fail(f"follower accepted a write: {rejected!r}")
+
+        with urllib.request.urlopen(
+            f"http://{HOST}:{int(metrics.group(2))}/metrics", timeout=10
+        ) as response:
+            exposition = response.read().decode()
+        for needle in (
+            "repro_replica_lag_versions",
+            "repro_replica_entries_total",
+        ):
+            if needle not in exposition:
+                fail(f"follower /metrics missing {needle!r}")
+        print("smoke: follower /metrics exposes replication lag")
+
+        drain(follower, follower_session, "follower drained and stopped")
+        follower = None
+        drain(leader, leader_session, "drained and stopped")
+        leader = None
+        print("smoke: replication topology drained cleanly")
+    finally:
+        for proc in (leader, follower):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+
 if __name__ == "__main__":
     start = time.monotonic()
     code = main()
+    replication_smoke()
     print(f"smoke: ok in {time.monotonic() - start:.2f}s")
     sys.exit(code)

@@ -257,6 +257,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="record requests at or above MS milliseconds (span tree + "
         "engine cost digest) in the slow-query log served by 'olp slow'",
     )
+    serve.add_argument(
+        "--wal",
+        metavar="DIR",
+        default=None,
+        help="durable write-ahead log directory: boot recovers the KB "
+        "from the newest checkpoint + journal replay, every published "
+        "version is journaled, and followers can subscribe "
+        "(docs/replication.md)",
+    )
+    serve.add_argument(
+        "--wal-fsync",
+        choices=["always", "batch", "never"],
+        default="always",
+        help="journal durability: 'always' fsyncs each published batch "
+        "before acking (default), 'batch' group-commits on an interval, "
+        "'never' leaves flushing to the OS",
+    )
+    serve.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        metavar="N",
+        help="rotate journal segments at N bytes (default: 64 MiB)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="checkpoint the KB and truncate sealed segments every N "
+        "versions; 0 disables periodic checkpoints (default: 256)",
+    )
+    serve.add_argument(
+        "--follow",
+        metavar="HOST:PORT",
+        default=None,
+        help="run as a read-only follower tailing this leader's "
+        "subscribe stream (writes are rejected with 'not_leader')",
+    )
+    serve.add_argument(
+        "--views",
+        metavar="V1,V2",
+        default=None,
+        help="with --follow: subscribe to this view subset only "
+        "(comma-separated object names)",
+    )
+    serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run the fleet front tier: fan reads across --follower "
+        "backends, route writes to --leader",
+    )
+    serve.add_argument(
+        "--leader",
+        metavar="HOST:PORT",
+        default=None,
+        help="with --fleet: the write backend",
+    )
+    serve.add_argument(
+        "--follower",
+        metavar="HOST:PORT[=V1,V2]",
+        action="append",
+        default=None,
+        help="with --fleet: a read backend, repeatable; '=V1,V2' marks "
+        "a view-subset follower that only serves those views",
+    )
     _add_output_flags(serve)
 
     top = sub.add_parser(
@@ -580,9 +646,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .kb.knowledge_base import KnowledgeBase
     from .server import ServerConfig, run_server
 
+    config = ServerConfig(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        default_deadline_ms=args.deadline_ms,
+        slow_ms=args.slow_ms,
+    )
+
+    if args.fleet:
+        from .server import parse_backend, run_fleet
+
+        if args.leader is None:
+            raise ReproError("--fleet requires --leader HOST:PORT")
+        try:
+            leader = parse_backend(args.leader)
+            followers = [parse_backend(spec) for spec in (args.follower or [])]
+        except ValueError as error:
+            raise ReproError(str(error)) from error
+        try:
+            asyncio.run(
+                run_fleet(leader, followers, host=args.host, port=args.port)
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            print("olp serve: interrupted", file=sys.stderr)
+            return 130
+        return 0
+
+    if args.follow is not None:
+        from .server import run_follower
+
+        leader_host, leader_port = _parse_address(args.follow)
+        views = (
+            tuple(v for v in args.views.split(",") if v)
+            if args.views is not None
+            else None
+        )
+        try:
+            asyncio.run(
+                run_follower(
+                    leader_host,
+                    leader_port,
+                    host=args.host,
+                    port=args.port,
+                    config=config,
+                    views=views,
+                    metrics_port=args.metrics_port,
+                )
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            print("olp serve: interrupted", file=sys.stderr)
+            return 130
+        return 0
+
     if args.file is not None and args.restore is not None:
         raise ReproError("pass an .olp file or --restore, not both")
-    if args.restore is not None:
+    wal = None
+    initial_version = 0
+    if args.wal is not None:
+        from .server import Wal
+
+        wal = Wal(
+            args.wal,
+            fsync=args.wal_fsync,
+            segment_bytes=args.segment_bytes,
+            checkpoint_every=args.checkpoint_every or None,
+        )
+        kb, initial_version = wal.recover()
+        print(
+            f"olp serve: recovered version {initial_version} from {args.wal} "
+            f"(checkpoint {wal.checkpoint_version}, "
+            f"replayed {wal.replayed} journal records)",
+            flush=True,
+        )
+        if args.file is not None or args.restore is not None:
+            if initial_version:
+                raise ReproError(
+                    "--wal directory already holds state; "
+                    "drop the .olp/--restore seed or point --wal elsewhere"
+                )
+            # Seed a fresh WAL directory from the given program/dump.
+            if args.restore is not None:
+                from .serialize import loads_kb
+
+                with open(args.restore) as handle:
+                    kb = loads_kb(handle.read())
+            else:
+                kb = KnowledgeBase.from_program(_load(args.file))
+            wal.checkpoint(kb, 0)
+    elif args.restore is not None:
         from .serialize import loads_kb
 
         with open(args.restore) as handle:
@@ -591,12 +742,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kb = KnowledgeBase.from_program(_load(args.file))
     else:
         kb = KnowledgeBase()
-    config = ServerConfig(
-        max_queue=args.max_queue,
-        max_batch=args.max_batch,
-        default_deadline_ms=args.deadline_ms,
-        slow_ms=args.slow_ms,
-    )
     try:
         asyncio.run(
             run_server(
@@ -605,6 +750,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 config=config,
                 metrics_port=args.metrics_port,
+                wal=wal,
+                initial_version=initial_version,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive

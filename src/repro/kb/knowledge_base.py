@@ -212,6 +212,31 @@ class KnowledgeBase:
         object below it (Section 5's versioning reading)."""
         self.define(name, rules, isa=[parent])
 
+    def apply_op(self, op: dict) -> None:
+        """Apply one protocol-shaped write op (``{"op", "view", "rules",
+        "isa"}``) to this knowledge base.
+
+        This is the single replay path shared by WAL recovery, follower
+        apply, and test oracles — whatever the server logged or streamed
+        re-executes here through the same delta engine the leader used.
+
+        Raises:
+            SemanticsError: under exactly the conditions of the
+                underlying :meth:`tell`/:meth:`retract`/:meth:`define`.
+            ValueError: for an unknown op kind.
+        """
+        kind = op.get("op")
+        view = op["view"]
+        rules = op.get("rules") or ""
+        if kind == "tell":
+            self.tell(view, rules)
+        elif kind == "retract":
+            self.retract(view, rules)
+        elif kind == "define":
+            self.define(view, rules, isa=list(op.get("isa") or ()))
+        else:
+            raise ValueError(f"cannot replay unknown op {kind!r}")
+
     # ------------------------------------------------------------------
     # Negation conventions (Section 2's discussion after Example 4)
     # ------------------------------------------------------------------
@@ -286,6 +311,15 @@ class KnowledgeBase:
         exactly the views a mutation of ``name`` can change."""
         self._require(name)
         return self._poset().downset(name)
+
+    def scope(self, name: str) -> frozenset[str]:
+        """The objects ``name``'s point of view consults (``C*``, the
+        upset) — fixed once ``name`` is defined, since isa edges are
+        only added at define time of the child.  Replication filters
+        use it to select the journal prefix a view-subset follower
+        needs (``docs/replication.md``)."""
+        self._require(name)
+        return self._poset().upset(name)
 
     def _seeing_views(self, name: str) -> list[str]:
         """Cached views whose ``C*`` contains ``name`` — exactly the

@@ -22,6 +22,7 @@ Schema (stable, versioned by ``FORMAT_VERSION``):
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from typing import TYPE_CHECKING, Any, Union
 
@@ -54,6 +55,7 @@ __all__ = [
     "kb_from_dict",
     "dumps_kb",
     "loads_kb",
+    "kb_signature",
 ]
 
 FORMAT_VERSION = 1
@@ -314,3 +316,16 @@ def loads_kb(text: str) -> "KnowledgeBase":
     except json.JSONDecodeError as error:
         raise SerializationError(f"invalid JSON: {error}") from error
     return kb_from_dict(data)
+
+
+def kb_signature(kb: "KnowledgeBase") -> str:
+    """A stable content hash of a knowledge base's full serialized
+    state (told rules, isa order, engine configuration).
+
+    Two knowledge bases with equal signatures serialize identically —
+    the bit-identity predicate the crash-recovery and replication
+    differential suites assert against their oracles."""
+    payload = json.dumps(
+        kb_to_dict(kb), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -21,14 +21,21 @@ with a newline-delimited-JSON protocol (:mod:`repro.server.protocol`),
 admission control (bounded queue, per-request deadlines, overload
 shedding) and graceful drain on shutdown.  ``olp serve`` is the CLI
 entry point; see ``docs/server.md``.
+
+Durability and horizontal scale layer on top (``docs/replication.md``):
+:mod:`repro.server.wal` journals every published version (crash
+recovery = checkpoint + replay), and :mod:`repro.server.replica` adds
+follower processes that tail the journal over the protocol's
+``subscribe`` stream plus a fleet tier that fans reads across them.
 """
 
-from .engine import ServerConfig, ServerEngine, Snapshot
+from .engine import ServerConfig, ServerEngine, Snapshot, Subscriber
 from .protocol import (
     ADMIN_OPS,
     ERROR_CODES,
     OPS,
     READ_OPS,
+    STREAM_OPS,
     WRITE_OPS,
     ProtocolError,
     Request,
@@ -37,15 +44,37 @@ from .protocol import (
     ok_response,
     parse_request,
 )
+from .replica import (
+    Backend,
+    FleetServer,
+    FollowerEngine,
+    ReplicationError,
+    parse_backend,
+    run_fleet,
+    run_follower,
+)
 from .service import MetricsSidecar, QueryServer, run_server
+from .wal import Wal, WalCorruption, WalRecord, WalWriter
 
 __all__ = [
     "ServerConfig",
     "ServerEngine",
     "Snapshot",
+    "Subscriber",
     "MetricsSidecar",
     "QueryServer",
     "run_server",
+    "Wal",
+    "WalCorruption",
+    "WalRecord",
+    "WalWriter",
+    "Backend",
+    "FleetServer",
+    "FollowerEngine",
+    "ReplicationError",
+    "parse_backend",
+    "run_fleet",
+    "run_follower",
     "Request",
     "ProtocolError",
     "parse_request",
@@ -56,5 +85,6 @@ __all__ = [
     "READ_OPS",
     "WRITE_OPS",
     "ADMIN_OPS",
+    "STREAM_OPS",
     "ERROR_CODES",
 ]

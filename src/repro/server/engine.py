@@ -52,10 +52,12 @@ from ..obs import exposition
 from ..obs.exposition import PrometheusWriter, write_registry
 from ..obs.instruments import Histogram
 from ..obs.trace import TraceContext
+from ..serialize import kb_to_dict
 from . import protocol
 from .protocol import Request
+from .wal import Wal, WalCorruption
 
-__all__ = ["ServerConfig", "Snapshot", "ServerEngine"]
+__all__ = ["ServerConfig", "Snapshot", "ServerEngine", "Subscriber"]
 
 #: Second-scale buckets for serving latency (50us .. 10s).
 LATENCY_BUCKETS = (
@@ -95,6 +97,10 @@ class ServerConfig:
             disables the log — and with it the implicit per-request
             tracing it needs.
         slow_log_size: ring-buffer capacity of the slow-query log.
+        subscriber_queue: bound of each live ``subscribe`` stream's
+            entry buffer.  A subscriber that falls this many published
+            versions behind is cut with a ``lagging`` sentinel and must
+            reconnect (catch-up then comes from the journal, not RAM).
     """
 
     max_queue: int = 256
@@ -104,6 +110,7 @@ class ServerConfig:
     keep_history: bool = False
     slow_ms: Optional[float] = None
     slow_log_size: int = 128
+    subscriber_queue: int = 256
 
 
 class Snapshot:
@@ -214,6 +221,37 @@ class _WriteItem:
 
 _SENTINEL = object()
 
+#: Pushed into a subscriber's queue when the engine drains: the stream
+#: ends cleanly instead of the connection being cancelled mid-read.
+STREAM_END = None
+
+
+class Subscriber:
+    """One live ``subscribe`` stream's buffer between the publishing
+    writer and the connection task draining it.
+
+    The writer pushes one entry per published version (possibly with an
+    empty op list when the subscriber's view filter drops everything —
+    versions stay contiguous either way).  A full queue marks the
+    subscriber :attr:`lagging`: the already-buffered prefix is still
+    contiguous and is delivered, then the stream is cut and the
+    subscriber re-subscribes from its applied version (served from the
+    journal, which has no buffer bound).
+    """
+
+    __slots__ = ("queue", "views", "lagging", "delivered")
+
+    def __init__(self, maxsize: int, views: Optional[frozenset[str]] = None) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        self.views = views
+        self.lagging = False
+        self.delivered = 0
+
+    def wants(self, op: dict) -> bool:
+        if self.views is None:
+            return True
+        return bool(self.views.intersection(op.get("seers", ())))
+
 
 class ServerEngine:
     """Serves protocol requests over one knowledge base.
@@ -225,17 +263,31 @@ class ServerEngine:
     """
 
     def __init__(
-        self, kb: Optional[KnowledgeBase] = None, config: Optional[ServerConfig] = None
+        self,
+        kb: Optional[KnowledgeBase] = None,
+        config: Optional[ServerConfig] = None,
+        wal: Optional[Wal] = None,
+        initial_version: int = 0,
     ) -> None:
         self.kb = kb if kb is not None else KnowledgeBase()
         self.config = config if config is not None else ServerConfig()
+        self.wal = wal
         self.started_at = time.monotonic()
         self.shutdown_requested = asyncio.Event()
         self.history: list[tuple[Snapshot, list[Request]]] = []
-        self._version = 0
+        self._version = initial_version
         self._snapshot = Snapshot(
-            0, self.kb.program(), self.kb.grounding, self.kb.budget
+            initial_version, self.kb.program(), self.kb.grounding, self.kb.budget
         )
+        self._subscribers: list[Subscriber] = []
+        self._subscribers_total = 0
+        self._subscribers_lagged = 0
+        self._wal_broken = False
+        # Whether this engine's version 0 was already a non-empty KB (a
+        # file/--restore seed rather than the empty KB): a subscriber
+        # catching up from version 0 can then never be served entries —
+        # no journal suffix reconstructs the seeded base state.
+        self._v0_nonempty = initial_version == 0 and bool(self.kb.objects)
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.max_queue)
         self._writer_task: Optional[asyncio.Task] = None
         self._draining = False
@@ -272,10 +324,13 @@ class ServerEngine:
         if self._closed:
             return
         self._draining = True
+        self.close_subscribers()
         if self._writer_task is not None:
             await self._queue.put(_SENTINEL)
             await self._writer_task
             self._writer_task = None
+        if self.wal is not None:
+            self.wal.close()
         self._closed = True
         get_instrumentation().event("server.stop", version=self._version)
 
@@ -331,6 +386,15 @@ class ServerEngine:
         if self._closed:
             return self._error(
                 request, protocol.SHUTTING_DOWN, "server is shut down"
+            )
+        if request.op in protocol.STREAM_OPS:
+            # The TCP service intercepts ``subscribe`` and owns the
+            # stream; reaching the engine means the caller cannot hold
+            # a streaming connection (tests, benchmarks, embedding).
+            return self._error(
+                request,
+                protocol.BAD_REQUEST,
+                "op 'subscribe' requires a streaming connection",
             )
         if request.op in protocol.WRITE_OPS:
             return await self._write(request)
@@ -478,7 +542,7 @@ class ServerEngine:
 
     def stats(self) -> dict:
         """The ``stats`` result: serving counters plus pipeline state."""
-        return {
+        payload = {
             "version": self._version,
             "uptime_s": time.monotonic() - self.started_at,
             "snapshot_age_s": self._snapshot.age(),
@@ -516,7 +580,15 @@ class ServerEngine:
                 }
                 for view, hist in sorted(self._view_refresh.items())
             },
+            "replication": {
+                "subscribers": len(self._subscribers),
+                "subscribes_total": self._subscribers_total,
+                "lagged_total": self._subscribers_lagged,
+            },
         }
+        if self.wal is not None:
+            payload["wal"] = self.wal.stats()
+        return payload
 
     def exposition(self) -> str:
         """Prometheus text-format exposition: the always-on serving
@@ -597,8 +669,55 @@ class ServerEngine:
                 labels={"view": view},
                 help="Hot-view re-materialization cost at publish.",
             )
+        writer.gauge(
+            "repro_server_subscribers",
+            len(self._subscribers),
+            help="Live subscribe streams (replication followers).",
+        )
+        writer.counter(
+            "repro_server_subscribers_lagged_total",
+            self._subscribers_lagged,
+            help="Subscribe streams cut for falling behind the buffer.",
+        )
+        if self.wal is not None:
+            wal = self.wal.stats()
+            writer.counter(
+                "repro_wal_appends_total",
+                wal["appends"],
+                help="Journal records appended.",
+            )
+            writer.counter(
+                "repro_wal_bytes_total",
+                wal["bytes"],
+                help="Journal bytes appended.",
+            )
+            writer.counter(
+                "repro_wal_fsyncs_total",
+                wal["fsyncs"],
+                help="Journal fsyncs issued.",
+            )
+            writer.counter(
+                "repro_wal_rotations_total",
+                wal["rotations"],
+                help="Journal segment rotations.",
+            )
+            writer.counter(
+                "repro_wal_checkpoints_total",
+                wal["checkpoints"],
+                help="Checkpoints written.",
+            )
+            writer.gauge(
+                "repro_wal_checkpoint_version",
+                wal["checkpoint_version"],
+                help="Version of the newest checkpoint.",
+            )
+        self._expose_extra(writer)
         write_registry(writer, get_instrumentation())
         return writer.render()
+
+    def _expose_extra(self, writer: PrometheusWriter) -> None:
+        """Subclass hook: extra always-on instruments in ``/metrics``
+        (the follower engine adds its replication lag here)."""
 
     # ------------------------------------------------------------------
     # Slow-query log
@@ -656,6 +775,13 @@ class ServerEngine:
         if self._draining:
             return self._error(
                 request, protocol.SHUTTING_DOWN, "server is draining"
+            )
+        if self._wal_broken:
+            return self._error(
+                request,
+                protocol.INTERNAL,
+                "write-ahead log failed; refusing writes the journal "
+                "cannot make durable",
             )
         ctx: Optional[TraceContext] = None
         if request.trace is not None or self.config.slow_ms is not None:
@@ -837,8 +963,35 @@ class ServerEngine:
             # ``rules`` is optional for define: an empty object is legal.
             self.kb.define(view, request.rules or (), isa=request.isa)
 
+    def _op_dict(self, request: Request) -> dict:
+        """The journal/stream form of one applied write: the protocol
+        fields plus the ``seers`` downset at publish time (the views
+        this op can change — the replication filter's sole input)."""
+        view = request.view
+        assert view is not None
+        return {
+            "op": request.op,
+            "view": view,
+            "rules": request.rules or "",
+            "isa": list(request.isa),
+            "seers": sorted(self.kb.seers(view)),
+        }
+
     def _publish(self, applied: list[Request]) -> None:
-        """Atomically publish the next snapshot version.
+        """Atomically publish the next snapshot version."""
+        ops = [self._op_dict(request) for request in applied]
+        snapshot = self._publish_ops(ops, self._version + 1)
+        if self.config.keep_history:
+            self.history.append((snapshot, list(applied)))
+
+    def _publish_ops(self, ops: list[dict], version: int) -> Snapshot:
+        """Publish one version from already-applied journal-shaped ops.
+
+        The leader reaches this through :meth:`_publish` (version =
+        next); a follower through ``apply_entry`` (version = the
+        leader's).  Ordering is the durability contract: the WAL append
+        happens *before* the snapshot swap, so a version a client can
+        ever observe — let alone get an ack for — is already on disk.
 
         Untouched views share the previous snapshot's materialized
         models (structural sharing); touched hot views are repaired
@@ -848,13 +1001,19 @@ class ServerEngine:
         """
         prev = self._snapshot
         affected: set[str] = set()
-        for request in applied:
-            view = request.view
-            assert view is not None
-            if request.op == "define":
-                affected.add(view)
+        for op in ops:
+            if op["op"] == "define":
+                affected.add(op["view"])
             else:
-                affected |= self.kb.seers(view)
+                affected.update(op["seers"])
+        if self.wal is not None:
+            try:
+                self.wal.append(version, ops)
+            except OSError:
+                # The KB has advanced past the durable log; admitting
+                # more writes would ack state a restart cannot rebuild.
+                self._wal_broken = True
+                raise
         models = {
             view: m for view, m in prev.models.items() if view not in affected
         }
@@ -886,9 +1045,9 @@ class ServerEngine:
                     hist.observe(refresh)
                     if obs.enabled:
                         obs.observe("server.view.refresh", refresh)
-        self._version += 1
+        self._version = version
         snapshot = Snapshot(
-            self._version,
+            version,
             self.kb.program(),
             self.kb.grounding,
             self.kb.budget,
@@ -898,20 +1057,148 @@ class ServerEngine:
         )
         self._snapshot = snapshot
         self._batches += 1
-        self._ops_applied += len(applied)
-        if len(applied) > self._max_batch_seen:
-            self._max_batch_seen = len(applied)
-        if self.config.keep_history:
-            self.history.append((snapshot, list(applied)))
+        self._ops_applied += len(ops)
+        if len(ops) > self._max_batch_seen:
+            self._max_batch_seen = len(ops)
+        self._notify_subscribers(version, ops)
         if obs.enabled:
             obs.count("server.publishes")
-            obs.observe("server.batch_size", len(applied))
-            obs.gauge("server.version", self._version)
+            obs.observe("server.batch_size", len(ops))
+            obs.gauge("server.version", version)
             obs.observe("server.snapshot_age", prev.age())
             obs.gauge("server.snapshot.age_ms", prev.age() * 1000.0)
             obs.event(
                 "server.publish",
-                version=self._version,
-                batch=len(applied),
+                version=version,
+                batch=len(ops),
                 affected_views=len(affected),
             )
+        if self.wal is not None:
+            self.wal.maybe_checkpoint(self.kb, version)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Replication: live subscribers and journal catch-up
+    # ------------------------------------------------------------------
+    def add_subscriber(
+        self, views: Optional[tuple[str, ...]] = None
+    ) -> Subscriber:
+        """Register one live stream.  Must be called synchronously with
+        :meth:`catch_up` (no await between them): publishes run
+        synchronously on the same loop, so registration + catch-up is
+        atomic with respect to version production and the stream misses
+        nothing."""
+        sub = Subscriber(
+            self.config.subscriber_queue,
+            frozenset(views) if views is not None else None,
+        )
+        self._subscribers.append(sub)
+        self._subscribers_total += 1
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.count("replica.subscribes")
+            obs.gauge("replica.subscribers", len(self._subscribers))
+        return sub
+
+    def remove_subscriber(self, sub: Subscriber) -> None:
+        try:
+            self._subscribers.remove(sub)
+        except ValueError:
+            pass
+        obs = get_instrumentation()
+        if obs.enabled:
+            obs.gauge("replica.subscribers", len(self._subscribers))
+
+    def close_subscribers(self) -> None:
+        """End every live stream cleanly (server drain)."""
+        for sub in list(self._subscribers):
+            try:
+                sub.queue.put_nowait(STREAM_END)
+            except asyncio.QueueFull:
+                # The buffered prefix still ends the stream: the drain
+                # loop sees ``lagging`` once the buffer is empty.
+                sub.lagging = True
+
+    def _notify_subscribers(self, version: int, ops: list[dict]) -> None:
+        """Push one entry per published version into every live stream.
+
+        A view-filtered subscriber still receives the version (with the
+        surviving ops only, possibly none): version contiguity is what
+        lets a follower equate "applied v" with "consistent with the
+        leader's v" for its subscribed subset.
+        """
+        for sub in self._subscribers:
+            if sub.lagging:
+                continue
+            filtered = [op for op in ops if sub.wants(op)]
+            entry = {"version": version, "ops": filtered}
+            try:
+                sub.queue.put_nowait(entry)
+            except asyncio.QueueFull:
+                sub.lagging = True
+                self._subscribers_lagged += 1
+                obs = get_instrumentation()
+                if obs.enabled:
+                    obs.count("replica.subscriber_lagged")
+
+    def catch_up(
+        self,
+        from_version: int,
+        views: Optional[tuple[str, ...]] = None,
+    ) -> tuple[str, Any, int]:
+        """What a new subscriber at ``from_version`` must replay first.
+
+        Returns ``("entries", [entry, ...], current_version)`` when the
+        journal (or nothing) covers the gap, or ``("snapshot", kb_dict,
+        current_version)`` when it cannot — no journal, a truncated
+        range, or an unreadable journal — and the subscriber must load
+        the full KB before tailing.
+
+        Synchronous by design: called between :meth:`add_subscriber`
+        and the first queue read, it sees a frozen version frontier.
+        """
+        current = self._version
+        if from_version == 0 and (
+            self._v0_nonempty
+            or (self.wal is not None and self.wal.seeded_at_zero)
+        ):
+            # Version 0 here was a seeded KB, not the empty one a fresh
+            # follower holds — only a snapshot can align it.
+            return "snapshot", kb_to_dict(self.kb), current
+        if from_version >= current:
+            return "entries", [], current
+        if self.wal is not None and from_version >= self.wal.oldest_available:
+            try:
+                records = self.wal.read_after(from_version)
+            except WalCorruption:
+                return "snapshot", kb_to_dict(self.kb), current
+            if views is None:
+                keep = None
+            else:
+                # Historical records carry publish-time ``seers`` that
+                # cannot know views defined later, so catch-up filters
+                # against the *current* poset: a view's scope (C*) is
+                # fixed at its define time, making "op.view in the
+                # subscription's scope" time-independent.  The raw
+                # seers check additionally admits the define of a
+                # subscribed view itself.
+                scope: set[str] = set(views)
+                for v in views:
+                    if v in self.kb.objects:
+                        scope |= self.kb.scope(v)
+                wanted = frozenset(views)
+
+                def keep(op: dict) -> bool:
+                    return op["view"] in scope or bool(
+                        wanted.intersection(op.get("seers", ()))
+                    )
+
+            entries = [
+                {
+                    "version": record.version,
+                    "ops": [op for op in record.ops if keep is None or keep(op)],
+                }
+                for record in records
+            ]
+            return "entries", entries, current
+        return "snapshot", kb_to_dict(self.kb), current

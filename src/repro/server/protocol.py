@@ -22,7 +22,21 @@ health    —
 metrics   — Prometheus text-format exposition of all instruments
 slow      — dump the slow-query ring buffer (``--slow-ms``)
 shutdown  — request a graceful drain-and-stop
+subscribe ``from_version`` (stream journal entries after this
+          version; default 0), optional ``views`` (list of object
+          names: only entries whose ``seers`` intersect it are
+          delivered with ops — other versions arrive empty)
 ========  =====================================================
+
+``subscribe`` switches the connection into streaming mode: after one
+normal ok reply (``result.type == "subscribed"``) the server keeps
+writing lines with the same ``id`` — ``result.type`` is ``"snapshot"``
+(a full KB dump when the requested range was truncated), ``"entry"``
+(one published version: ``version``, ``ops``, ``leader_version``),
+``"lagging"`` (the subscriber fell behind the bounded stream buffer
+and must reconnect), or ``"end"`` (the server is draining).  No other
+request is accepted on a subscribed connection — followers
+(``docs/replication.md``) dedicate one connection to the stream.
 
 Every request also accepts ``deadline_ms``: a relative per-request
 deadline; work not *started* before it expires is shed with a
@@ -48,6 +62,8 @@ version a mutation became visible at.  Error codes:
   retry with backoff;
 * ``timeout`` — the per-request deadline expired before execution;
 * ``shutting_down`` — the server is draining and no longer admits work;
+* ``not_leader`` — a write reached a read-only follower; retry against
+  the leader (the message names it when known);
 * ``internal`` — unexpected failure (a bug; details in the message).
 """
 
@@ -63,12 +79,14 @@ __all__ = [
     "READ_OPS",
     "WRITE_OPS",
     "ADMIN_OPS",
+    "STREAM_OPS",
     "ERROR_CODES",
     "BAD_REQUEST",
     "SEMANTICS",
     "OVERLOADED",
     "TIMEOUT",
     "SHUTTING_DOWN",
+    "NOT_LEADER",
     "INTERNAL",
     "MODES",
     "ProtocolError",
@@ -83,7 +101,8 @@ __all__ = [
 READ_OPS = frozenset({"query", "ask", "explain"})
 WRITE_OPS = frozenset({"tell", "retract", "define"})
 ADMIN_OPS = frozenset({"stats", "health", "metrics", "slow", "shutdown"})
-OPS = READ_OPS | WRITE_OPS | ADMIN_OPS
+STREAM_OPS = frozenset({"subscribe"})
+OPS = READ_OPS | WRITE_OPS | ADMIN_OPS | STREAM_OPS
 
 MODES = ("cautious", "skeptical", "credulous")
 
@@ -92,9 +111,10 @@ SEMANTICS = "semantics"
 OVERLOADED = "overloaded"
 TIMEOUT = "timeout"
 SHUTTING_DOWN = "shutting_down"
+NOT_LEADER = "not_leader"
 INTERNAL = "internal"
 ERROR_CODES = frozenset(
-    {BAD_REQUEST, SEMANTICS, OVERLOADED, TIMEOUT, SHUTTING_DOWN, INTERNAL}
+    {BAD_REQUEST, SEMANTICS, OVERLOADED, TIMEOUT, SHUTTING_DOWN, NOT_LEADER, INTERNAL}
 )
 
 
@@ -119,6 +139,11 @@ class Request:
     mode: str = "cautious"
     rules: Optional[str] = None
     isa: tuple[str, ...] = ()
+    #: ``subscribe`` only: stream entries with version > this.
+    from_version: int = 0
+    #: ``subscribe`` only: None streams every entry; a tuple restricts
+    #: op delivery to entries whose ``seers`` intersect it.
+    views: Optional[tuple[str, ...]] = None
     deadline_ms: Optional[float] = None
     #: None (no tracing requested) or a normalized ``{"id": str|None,
     #: "baggage": {str: str}}`` — see :func:`parse_request`.
@@ -170,10 +195,31 @@ def parse_request(
 
     view = pattern = rules = None
     isa: tuple[str, ...] = ()
+    from_version = 0
+    views: Optional[tuple[str, ...]] = None
     mode = data.get("mode", "cautious")
     if mode not in MODES:
         raise ProtocolError(f"unknown mode {mode!r}; expected one of {MODES}")
-    if op in READ_OPS:
+    if op == "subscribe":
+        raw_from = data.get("from_version", 0)
+        if not isinstance(raw_from, int) or raw_from < 0:
+            raise ProtocolError(
+                "op 'subscribe' field 'from_version' must be a non-negative integer"
+            )
+        from_version = raw_from
+        raw_views = data.get("views")
+        if raw_views is not None:
+            if (
+                not isinstance(raw_views, list)
+                or not raw_views
+                or not all(isinstance(v, str) and v for v in raw_views)
+            ):
+                raise ProtocolError(
+                    "op 'subscribe' field 'views' must be a non-empty "
+                    "list of object names"
+                )
+            views = tuple(raw_views)
+    elif op in READ_OPS:
         view = _require_str(data, "view", op)
         pattern = _require_str(data, "pattern", op)
     elif op in ("tell", "retract"):
@@ -205,6 +251,8 @@ def parse_request(
         mode=mode,
         rules=rules,
         isa=isa,
+        from_version=from_version,
+        views=views,
         deadline_ms=deadline_ms,
         trace=_parse_trace(data.get("trace")),
     )

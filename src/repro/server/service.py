@@ -156,6 +156,10 @@ class QueryServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # End live subscribe streams before waiting on connections —
+        # a stream blocks on its entry queue, not on readline, so only
+        # the end sentinel lets its handler finish cleanly.
+        self.engine.close_subscribers()
         if self._connections:
             # Connections normally close themselves after their last
             # reply; cap the wait so an idle client that never hangs up
@@ -188,6 +192,13 @@ class QueryServer:
                     break
                 if not line.strip():
                     continue
+                if b"subscribe" in line:
+                    # Cheap pre-filter; the parse decides for real.  A
+                    # subscribe dedicates the rest of the connection to
+                    # the stream (one writer task, ordered entries).
+                    handled = await self._maybe_subscribe(line, writer)
+                    if handled:
+                        break
                 payload = await self._respond(line)
                 try:
                     writer.write(protocol.encode(payload))
@@ -206,6 +217,155 @@ class QueryServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    async def _maybe_subscribe(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Run the ``subscribe`` stream if the line asks for one.
+
+        Returns True when the connection was consumed by a stream (or
+        the subscribe request was malformed and answered with an
+        error); False when the line turned out to be some other op and
+        the normal request/response path should handle it.
+        """
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError:
+            return False  # let _respond produce the error reply
+        if request.op != "subscribe":
+            return False
+        try:
+            await self._serve_subscription(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        return True
+
+    async def _serve_subscription(
+        self, request: protocol.Request, writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream journal entries to one subscriber until it falls
+        behind, the server drains, or the peer hangs up.
+
+        Framing (``docs/replication.md``): one ``subscribed`` ok line,
+        then optionally one ``snapshot`` line (full KB when the
+        requested range is not replayable), then ``entry`` lines — one
+        per published version, in order, no gaps — and finally a
+        ``lagging`` or ``end`` line.
+        """
+        engine = self.engine
+        if engine.draining:
+            writer.write(
+                protocol.encode(
+                    protocol.error_response(
+                        request.id,
+                        protocol.SHUTTING_DOWN,
+                        "server is draining",
+                    )
+                )
+            )
+            await writer.drain()
+            return
+        # Registration and catch-up are back-to-back with no await:
+        # publishes run synchronously on this loop, so the queue holds
+        # exactly the entries published after the catch-up frontier.
+        sub = engine.add_subscriber(request.views)
+        try:
+            kind, payload, current = engine.catch_up(
+                request.from_version, request.views
+            )
+            applied = request.from_version
+            writer.write(
+                protocol.encode(
+                    protocol.ok_response(
+                        request.id,
+                        current,
+                        {
+                            "type": "subscribed",
+                            "mode": kind,
+                            "from_version": request.from_version,
+                            "leader_version": current,
+                        },
+                    )
+                )
+            )
+            if kind == "snapshot":
+                writer.write(
+                    protocol.encode(
+                        protocol.ok_response(
+                            request.id,
+                            current,
+                            {
+                                "type": "snapshot",
+                                "kb": payload,
+                                "leader_version": current,
+                            },
+                        )
+                    )
+                )
+                applied = current
+            else:
+                for entry in payload:
+                    writer.write(
+                        protocol.encode(
+                            protocol.ok_response(
+                                request.id,
+                                entry["version"],
+                                {
+                                    "type": "entry",
+                                    "ops": entry["ops"],
+                                    "leader_version": current,
+                                },
+                            )
+                        )
+                    )
+                    applied = entry["version"]
+            await writer.drain()
+            while True:
+                if sub.lagging and sub.queue.empty():
+                    writer.write(
+                        protocol.encode(
+                            protocol.ok_response(
+                                request.id,
+                                engine.version,
+                                {"type": "lagging"},
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    return
+                entry = await sub.queue.get()
+                if entry is None:  # STREAM_END: the server is draining
+                    writer.write(
+                        protocol.encode(
+                            protocol.ok_response(
+                                request.id,
+                                engine.version,
+                                {"type": "end", "reason": "shutting_down"},
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if entry["version"] <= applied:
+                    continue  # already delivered by catch-up
+                sub.delivered += 1
+                applied = entry["version"]
+                writer.write(
+                    protocol.encode(
+                        protocol.ok_response(
+                            request.id,
+                            entry["version"],
+                            {
+                                "type": "entry",
+                                "ops": entry["ops"],
+                                "leader_version": engine.version,
+                            },
+                        )
+                    )
+                )
+                await writer.drain()
+        finally:
+            engine.remove_subscriber(sub)
 
     async def _respond(self, line: bytes) -> dict:
         try:
@@ -232,15 +392,20 @@ async def run_server(
     config: Optional[ServerConfig] = None,
     ready: Optional[asyncio.Event] = None,
     metrics_port: Optional[int] = None,
+    wal=None,
+    initial_version: int = 0,
 ) -> None:
     """Serve one knowledge base until a client requests shutdown.
 
     The CLI entry point (``olp serve``).  ``ready`` (if given) is set
     once the listener is bound — test harnesses use it to know when to
     connect.  ``metrics_port`` (if given; 0 picks a free port) starts a
-    :class:`MetricsSidecar` on the same host.
+    :class:`MetricsSidecar` on the same host.  ``wal`` (a
+    :class:`~repro.server.wal.Wal`) makes every published version
+    durable; ``initial_version`` is the recovered version the engine
+    resumes counting from.
     """
-    engine = ServerEngine(kb, config)
+    engine = ServerEngine(kb, config, wal=wal, initial_version=initial_version)
     server = QueryServer(engine, host, port)
     sidecar: Optional[MetricsSidecar] = None
     await server.start()

@@ -1,12 +1,19 @@
 """Regression: KnowledgeBase instances must not share mutable default
 config objects (a module-level ``GroundingOptions()`` default would
-leak mutations from one KB into every other)."""
+leak mutations from one KB into every other), and serialization must
+round-trip *every* engine-config field — a restored KB silently losing
+a tuning knob (e.g. ``GroundingOptions.domain_pruning``) would serve
+with different performance and, for the abstract-pruning path,
+different grounding behavior after every ``--restore``."""
+
+import dataclasses
 
 from repro.core.maintenance import MaintenanceConfig
 from repro.core.semantics import OrderedSemantics
 from repro.core.solver import SearchBudget
 from repro.grounding.grounder import GroundingOptions
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.serialize import dumps_kb, kb_signature, loads_kb
 from repro.workloads.paper import figure1
 
 
@@ -49,3 +56,59 @@ class TestPerInstanceDefaults:
         b = OrderedSemantics(figure1(), "c1")
         assert a._grounding_options is not b._grounding_options
         assert a._budget is not b._budget
+
+
+class TestConfigRoundTrip:
+    """``dumps_kb`` → ``loads_kb`` must preserve the complete engine
+    configuration, field by field — not just the fields that existed
+    when serialization was written."""
+
+    def _non_default_kb(self) -> KnowledgeBase:
+        kb = KnowledgeBase(
+            grounding=GroundingOptions(
+                max_depth=7,
+                instance_cap=12345,
+                full_base=False,
+                domain_pruning=True,
+            ),
+            budget=SearchBudget(max_leaves=11, max_visited=222),
+            maintenance=MaintenanceConfig(enabled=False, frontier_threshold=9),
+        )
+        kb.define("bird", "flies(X) <- bird(X). bird(tweety).")
+        kb.define("penguin", "-flies(X) <- penguin(X).", isa=["bird"])
+        return kb
+
+    def test_every_config_field_round_trips(self):
+        kb = self._non_default_kb()
+        restored = loads_kb(dumps_kb(kb))
+        # Field-by-field so a *new* config knob that is forgotten by
+        # kb_to_dict fails here by name, not as an opaque inequality.
+        for attr in ("grounding", "budget", "maintenance"):
+            original, recovered = getattr(kb, attr), getattr(restored, attr)
+            for field in dataclasses.fields(original):
+                assert getattr(recovered, field.name) == getattr(
+                    original, field.name
+                ), f"{attr}.{field.name} lost in dumps_kb/loads_kb round-trip"
+            assert recovered == original
+
+    def test_domain_pruning_round_trips_both_ways(self):
+        # The PR 8 knob specifically: both the non-default False and
+        # the default True must survive a restore.
+        for domain_pruning in (False, True):
+            kb = KnowledgeBase(
+                grounding=GroundingOptions(domain_pruning=domain_pruning)
+            )
+            restored = loads_kb(dumps_kb(kb))
+            assert restored.grounding.domain_pruning is domain_pruning
+
+    def test_signature_is_stable_across_round_trip(self):
+        kb = self._non_default_kb()
+        restored = loads_kb(dumps_kb(kb))
+        assert kb_signature(restored) == kb_signature(kb)
+
+    def test_signature_sees_config_changes(self):
+        base = KnowledgeBase()
+        tuned = KnowledgeBase(
+            grounding=GroundingOptions(domain_pruning=True)
+        )
+        assert kb_signature(base) != kb_signature(tuned)

@@ -18,8 +18,15 @@ from repro.server.protocol import (
 
 
 def test_ops_partition():
-    assert protocol.READ_OPS | protocol.WRITE_OPS | protocol.ADMIN_OPS == protocol.OPS
+    assert (
+        protocol.READ_OPS
+        | protocol.WRITE_OPS
+        | protocol.ADMIN_OPS
+        | protocol.STREAM_OPS
+        == protocol.OPS
+    )
     assert not protocol.READ_OPS & protocol.WRITE_OPS
+    assert not protocol.STREAM_OPS & (protocol.READ_OPS | protocol.WRITE_OPS)
 
 
 def test_parse_query_roundtrip():
