@@ -24,6 +24,13 @@ disk, a ``--follow`` follower catches up over ``subscribe`` from that
 cold journal and then tracks a live write, its ``/metrics`` sidecar
 exposes ``repro_replica_lag_versions``, and both processes drain
 cleanly.
+
+A third phase smokes goal-directed answering (``docs/query.md``): a
+server booted with ``--edb`` over a disk-backed forest answers a
+traced ``strategy="demand"`` point query whose span tree shows demand
+grounding (``query.demand``) and *no* materialization
+(``semantics.least_model`` / ``ground``), and a ``tell`` through the
+delta pipeline is visible to the next demand read.
 """
 
 from __future__ import annotations
@@ -392,9 +399,94 @@ def replication_smoke() -> None:
         shutil.rmtree(wal_dir, ignore_errors=True)
 
 
+def span_names(node: dict) -> list[str]:
+    names = [node["name"]]
+    for child in node.get("children", []):
+        names.extend(span_names(child))
+    return names
+
+
+def demand_smoke() -> None:
+    """``olp serve --edb`` -> traced demand point query -> spans show
+    demand grounding, not materialization -> a write through the delta
+    pipeline reaches the next demand read."""
+    import shutil
+    import tempfile
+
+    sys.path.insert(0, os.environ.get("PYTHONPATH", "src"))
+    from repro.db.edb import EdbStore
+    from repro.workloads.point_query import FOREST_RULES, load_forest_edb
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    work_dir = tempfile.mkdtemp(prefix="olp-smoke-edb-")
+    server = None
+    try:
+        edb_path = os.path.join(work_dir, "forest.edb")
+        with EdbStore(edb_path, object_name="main") as store:
+            load_forest_edb(store, n_trees=200, depth=4)
+            facts = store.total_facts()
+        rules_path = os.path.join(work_dir, "forest.olp")
+        with open(rules_path, "w") as handle:
+            handle.write(FOREST_RULES)
+
+        server = spawn_serve(env, rules_path, "--edb", edb_path)
+        (banner,) = read_banners(server, BANNER)
+        session = Session(int(banner.group(2)))
+
+        reply = session.expect_ok(
+            id=1, op="query", view="main", pattern="ancestor(n17_0, X)",
+            strategy="demand", trace=True,
+        )
+        answers = [a["literal"] for a in reply["result"]["answers"]]
+        if len(answers) != 14:  # the 14 proper descendants of root 17
+            fail(f"expected the full subtree, got {answers!r}")
+        trace = reply["result"].get("trace")
+        if trace is None:
+            fail(f"traced demand query returned no trace: {reply!r}")
+        spans = span_names(trace["spans"])
+        if "query.demand" not in spans:
+            fail(f"no demand-grounding span in {spans!r}")
+        materializers = {"semantics.least_model", "ground"} & set(spans)
+        if materializers:
+            fail(f"demand read materialized the model: {spans!r}")
+        print(
+            f"smoke: demand point query over {facts}-fact EDB "
+            f"answered {len(answers)} tuples, spans={','.join(spans)}"
+        )
+
+        # Writes keep flowing through the delta pipeline and are
+        # unioned with the store on the next demand read.
+        session.expect_ok(
+            id=2, op="tell", view="main", rules="parent(n17_14, extra)."
+        )
+        grown = session.expect_ok(
+            id=3, op="query", view="main", pattern="ancestor(n17_0, X)",
+            strategy="demand",
+        )
+        if grown["result"]["count"] != 15:
+            fail(f"told fact invisible to demand read: {grown!r}")
+        held = session.expect_ok(
+            id=4, op="ask", view="main", pattern="owns(p17, extra)",
+            strategy="demand",
+        )
+        if not held["result"]["holds"]:
+            fail(f"ownership of the told node not derived: {held!r}")
+        print("smoke: delta-pipeline write visible to demand reads")
+
+        drain(server, session, "drained and stopped")
+        server = None
+    finally:
+        if server is not None and server.poll() is None:
+            server.kill()
+            server.wait()
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+
 if __name__ == "__main__":
     start = time.monotonic()
     code = main()
     replication_smoke()
+    demand_smoke()
     print(f"smoke: ok in {time.monotonic() - start:.2f}s")
     sys.exit(code)

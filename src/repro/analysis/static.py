@@ -82,6 +82,7 @@ DIAGNOSTIC_CODES: Mapping[str, str] = {
     "type-clash": "warning",
     "provably-empty": "info",
     "dead-rule": "info",
+    "demand-ineligible": "info",
 }
 
 
@@ -913,6 +914,53 @@ def _check_stratification(program: OrderedProgram) -> tuple[
     return out, views
 
 
+_DEMAND_FIX_HINTS = {
+    "unroutable": (
+        "demand answering needs a seminegative, positive-or-stratified "
+        "view; queries fall back to full materialization"
+    ),
+    "unsafe-sips": (
+        "bind every head and guard variable in a positive body literal "
+        "so sideways information passing can order the joins"
+    ),
+    "function-growth": (
+        "compound terms in rule heads force depth-bounded grounding; "
+        "query such views with the materializing strategies"
+    ),
+}
+
+
+def _check_demand(program: OrderedProgram) -> list[Diagnostic]:
+    """Views no goal can ever take the demand path against
+    (``strategy="demand"`` silently falls back to materialization).
+
+    Informational: programs that never use goal-directed queries lose
+    nothing.  The import is deferred because :mod:`repro.query` builds
+    on this module's :func:`classify_view`.
+    """
+    from ..query import demand_ineligibility
+
+    out = []
+    for name in sorted(program.component_names):
+        problem = demand_ineligibility(program, name)
+        if problem is None:
+            continue
+        reason, detail = problem
+        out.append(
+            Diagnostic(
+                code="demand-ineligible",
+                severity=Severity.INFO,
+                location=f"view {name}*",
+                message=(
+                    f"queries against the view of component {name} cannot "
+                    f"use strategy='demand' ({reason}): {detail}"
+                ),
+                fix_hint=_DEMAND_FIX_HINTS.get(reason, ""),
+            )
+        )
+    return out
+
+
 # ----------------------------------------------------------------------
 # Report
 # ----------------------------------------------------------------------
@@ -1025,6 +1073,7 @@ def analyze_program(program: OrderedProgram) -> StaticReport:
         diagnostics.extend(_check_function_growth(program, pdg, abstract))
         strat_diags, views = _check_stratification(program)
         diagnostics.extend(strat_diags)
+        diagnostics.extend(_check_demand(program))
         report = StaticReport(pdg, tuple(diagnostics), views, abstract)
         obs.count("check.diagnostics", len(diagnostics))
         for code, n in sorted(report.by_code().items()):

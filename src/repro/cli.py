@@ -290,6 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
         "versions; 0 disables periodic checkpoints (default: 256)",
     )
     serve.add_argument(
+        "--edb",
+        metavar="PATH",
+        default=None,
+        help="attach a disk-backed EDB store (SQLite, built with "
+        "repro.db.EdbStore) as the extensional fact base of the view "
+        "it names; demand queries fetch only the tuples they need "
+        "(docs/query.md)",
+    )
+    serve.add_argument(
         "--follow",
         metavar="HOST:PORT",
         default=None,
@@ -656,6 +665,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.fleet:
         from .server import parse_backend, run_fleet
 
+        if args.edb is not None:
+            raise ReproError("--edb applies to the serving backend, not --fleet")
         if args.leader is None:
             raise ReproError("--fleet requires --leader HOST:PORT")
         try:
@@ -674,6 +685,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.follow is not None:
         from .server import run_follower
+
+        if args.edb is not None:
+            raise ReproError(
+                "--edb applies to the leader; followers replicate its journal"
+            )
 
         leader_host, leader_port = _parse_address(args.follow)
         views = (
@@ -742,6 +758,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kb = KnowledgeBase.from_program(_load(args.file))
     else:
         kb = KnowledgeBase()
+    if args.edb is not None:
+        from .db.edb import EdbStore
+
+        store = EdbStore(args.edb)
+        target = store.object_name
+        if target == "edb" and target not in kb.objects:
+            # A store built without an explicit object name lands on the
+            # program's sole object (the common
+            # `olp serve rules.olp --edb facts.edb` case).
+            objects = sorted(kb.objects)
+            if len(objects) == 1:
+                target = objects[0]
+        kb.attach_edb(target, store)
+        print(
+            f"olp serve: attached EDB {args.edb} to view {target!r} "
+            f"({store.total_facts()} facts, {len(list(store.names()))} relations)",
+            flush=True,
+        )
     try:
         asyncio.run(
             run_server(

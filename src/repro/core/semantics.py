@@ -43,6 +43,7 @@ from .statuses import ComponentOrder, StatusEvaluator, StatusReport
 from .transform import (
     AUTO_STRATEGY,
     CLASSICAL_STRATEGY,
+    DEMAND_STRATEGY,
     OrderedTransform,
     engine_strategy,
     validate_semantics_strategy,
@@ -65,8 +66,10 @@ class OrderedSemantics:
             engine), ``"classical"`` (require routing; raises
             :class:`SemanticsError` on ineligible views), or the engine
             escape hatches ``"seminaive"`` / ``"naive"`` which disable
-            routing entirely.  See ``docs/analysis.md`` and
-            ``docs/evaluation.md``.
+            routing entirely.  ``"demand"`` answers queries
+            goal-directed through the magic-sets rewrite where sound
+            (``docs/query.md``) and otherwise behaves like ``"auto"``.
+            See ``docs/analysis.md`` and ``docs/evaluation.md``.
     """
 
     #: cached_property names cleared on every program mutation.
@@ -216,7 +219,11 @@ class OrderedSemantics:
             SemanticsError: under ``strategy="classical"`` when the view
                 is not eligible.
         """
-        if self.strategy not in (AUTO_STRATEGY, CLASSICAL_STRATEGY):
+        if self.strategy not in (
+            AUTO_STRATEGY,
+            CLASSICAL_STRATEGY,
+            DEMAND_STRATEGY,
+        ):
             return None
         from ..analysis.static import classify_view
 

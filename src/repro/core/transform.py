@@ -46,6 +46,7 @@ __all__ = [
     "DEFAULT_STRATEGY",
     "AUTO_STRATEGY",
     "CLASSICAL_STRATEGY",
+    "DEMAND_STRATEGY",
     "SEMANTICS_STRATEGIES",
     "engine_strategy",
 ]
@@ -66,9 +67,20 @@ AUTO_STRATEGY = "auto"
 #: ``"auto"``.
 CLASSICAL_STRATEGY = "classical"
 
+#: Semantics-level strategy: answer queries goal-directed through the
+#: magic-sets rewrite (``repro.query``) where sound, falling back to
+#: materialization otherwise.  For whole-model operations it behaves
+#: like ``"auto"``.  See ``docs/query.md``.
+DEMAND_STRATEGY = "demand"
+
 #: Everything ``OrderedSemantics(strategy=...)`` accepts.  The engine
 #: strategies double as escape hatches that disable routing.
-SEMANTICS_STRATEGIES = (AUTO_STRATEGY, CLASSICAL_STRATEGY, *STRATEGIES)
+SEMANTICS_STRATEGIES = (
+    AUTO_STRATEGY,
+    CLASSICAL_STRATEGY,
+    DEMAND_STRATEGY,
+    *STRATEGIES,
+)
 
 
 def validate_strategy(strategy: str) -> str:
@@ -95,7 +107,7 @@ def engine_strategy(strategy: str) -> str:
     the classical backend does not cover (model enumeration, statuses,
     non-routable views)."""
     validate_semantics_strategy(strategy)
-    if strategy in (AUTO_STRATEGY, CLASSICAL_STRATEGY):
+    if strategy in (AUTO_STRATEGY, CLASSICAL_STRATEGY, DEMAND_STRATEGY):
         return DEFAULT_STRATEGY
     return strategy
 

@@ -4,6 +4,7 @@ database, and a non-ground stratified semi-naive Datalog engine
 
 from .columnar import ColumnarIndex, TermInterner, merge_join, shared_interner
 from .database import Database
+from .edb import EdbError, EdbStore
 from .engine import DatalogEngine
 from .relation import Relation, RelationError
 
@@ -16,4 +17,6 @@ __all__ = [
     "TermInterner",
     "merge_join",
     "shared_interner",
+    "EdbError",
+    "EdbStore",
 ]

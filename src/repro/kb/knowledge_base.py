@@ -38,10 +38,11 @@ from ..core.interpretation import Interpretation, TruthValue
 from ..core.maintenance import ASSERT, RETRACT, MaintenanceConfig
 from ..core.semantics import OrderedSemantics
 from ..core.solver import SearchBudget
+from ..core.transform import AUTO_STRATEGY, DEMAND_STRATEGY
 from ..grounding.grounder import GroundingOptions
-from ..lang.errors import SemanticsError
+from ..lang.errors import QueryError, SemanticsError
 from ..lang.literals import Literal
-from ..lang.parser import parse_rules
+from ..lang.parser import parse_literal, parse_rules
 from ..lang.poset import PartialOrder
 from ..obs import get_instrumentation
 from ..lang.program import Component, OrderedProgram
@@ -74,6 +75,9 @@ class KnowledgeBase:
         self._semantics_cache: dict[str, OrderedSemantics] = {}
         #: Fact deltas queued per cached view, flushed on next read.
         self._pending: dict[str, list[tuple[str, str, Literal]]] = {}
+        #: Disk-backed extensional stores per object (read-only here;
+        #: writes keep flowing through tell/retract + the delta engine).
+        self._edb: dict[str, object] = {}
 
     @classmethod
     def from_program(
@@ -169,6 +173,40 @@ class KnowledgeBase:
             self._queue_facts(ASSERT, name, facts)
         else:  # pragma: no cover - databases produce ground facts
             self._drop_views_seeing(name)
+
+    def attach_edb(self, name: str, store) -> None:
+        """Attach a disk-backed :class:`~repro.db.edb.EdbStore` to an
+        object as its extensional fact base.
+
+        The store is read-only from the knowledge base's point of view:
+        subsequent :meth:`tell`/:meth:`retract` calls keep flowing
+        through the delta pipeline and are unioned with the store's
+        rows at query time.  Demand queries (``strategy="demand"``)
+        fetch only the tuples their magic predicates request; full
+        materialization (:meth:`view`, :meth:`least_model`) scans the
+        store into the program, which is expensive by design — see
+        ``docs/query.md``.
+
+        The object is created when it does not exist yet.
+        """
+        if name not in self._rules:
+            self.define(name)
+        self._edb[name] = store
+        self._drop_views_seeing(name)
+
+    def edb_sources(self, name: str) -> tuple:
+        """The attached EDB stores visible from ``name``'s view, as
+        :class:`~repro.query.sources.FactSource` objects."""
+        self._require(name)
+        if not self._edb:
+            return ()
+        from ..query.sources import EdbFactSource
+
+        return tuple(
+            EdbFactSource(self._edb[obj])
+            for obj in sorted(self.scope(name))
+            if obj in self._edb
+        )
 
     def retract(self, name: str, rules: Union[str, Iterable[Rule]]) -> None:
         """Remove previously told ground facts from an object.
@@ -361,8 +399,28 @@ class KnowledgeBase:
         return frozenset(high for low, high in self._pairs if low == name)
 
     def program(self) -> OrderedProgram:
-        """A snapshot of the knowledge base as an ordered program."""
+        """A snapshot of the knowledge base as an ordered program.
+
+        Attached EDB stores are *not* expanded here (this snapshot must
+        stay cheap — the server republishes it on every write); use
+        :meth:`_program_for_eval` where materialization needs the
+        extensional rows.
+        """
         comps = [Component(name, rules) for name, rules in self._rules.items()]
+        return OrderedProgram(comps, self._pairs)
+
+    def _program_for_eval(self) -> OrderedProgram:
+        """The program with attached EDB rows expanded into facts — the
+        input to full materialization.  O(store size); the demand path
+        never builds this."""
+        if not self._edb:
+            return self.program()
+        comps = []
+        for name, rules in self._rules.items():
+            store = self._edb.get(name)
+            if store is not None:
+                rules = list(rules) + list(store.facts())
+            comps.append(Component(name, rules))
         return OrderedProgram(comps, self._pairs)
 
     # ------------------------------------------------------------------
@@ -378,7 +436,7 @@ class KnowledgeBase:
         cached = self._semantics_cache.get(name)
         if cached is None:
             cached = OrderedSemantics(
-                self.program(),
+                self._program_for_eval(),
                 name,
                 grounding=self._grounding,
                 budget=self._budget,
@@ -400,10 +458,10 @@ class KnowledgeBase:
         name: str,
         literal: Union[Literal, str],
         mode: Union[QueryMode, str] = QueryMode.CAUTIOUS,
+        strategy: Optional[str] = None,
     ) -> bool:
         """Is a ground literal entailed from an object's point of view?"""
-        answers = evaluate_query(self.view(name), literal, mode)
-        return bool(answers)
+        return bool(self.query(name, literal, mode, strategy=strategy))
 
     def value(self, name: str, literal: Union[Literal, str]) -> TruthValue:
         """Truth value in the object's least model."""
@@ -414,9 +472,62 @@ class KnowledgeBase:
         name: str,
         pattern: Union[Literal, str],
         mode: Union[QueryMode, str] = QueryMode.CAUTIOUS,
+        strategy: Optional[str] = None,
     ) -> list[Answer]:
-        """All bindings of a literal pattern entailed at an object."""
+        """All bindings of a literal pattern entailed at an object.
+
+        ``strategy`` selects the read path: ``"demand"`` answers
+        goal-directed through the magic-sets rewrite where sound (and
+        silently falls back to materialization where not);
+        ``"auto"``/None additionally requires a cautious ground point
+        query with no warm materialized view (or an attached EDB) before
+        trying the demand path.  Answers are identical either way —
+        see ``docs/query.md``.
+        """
+        self._require(name)
+        if strategy not in (None, AUTO_STRATEGY, DEMAND_STRATEGY):
+            raise QueryError(
+                f"unknown query strategy {strategy!r}; "
+                f"use one of {AUTO_STRATEGY!r}, {DEMAND_STRATEGY!r}"
+            )
+        if isinstance(pattern, str):
+            pattern = parse_literal(pattern)
+        if strategy == DEMAND_STRATEGY or self._auto_demand(name, pattern, mode):
+            answers = self._demand_query(name, pattern, mode)
+            if answers is not None:
+                return answers
         return evaluate_query(self.view(name), pattern, mode)
+
+    def _auto_demand(
+        self, name: str, pattern: Literal, mode: Union[QueryMode, str]
+    ) -> bool:
+        """Should an unforced query try the demand path first?  Yes for
+        cautious ground point queries when materialization would not be
+        (or stay) free: the view is cold, or an EDB store is attached."""
+        if mode not in (QueryMode.CAUTIOUS, QueryMode.CAUTIOUS.value):
+            return False
+        if not pattern.is_ground:
+            return False
+        if any(obj in self._edb for obj in self.scope(name)):
+            return True
+        return name not in self._semantics_cache
+
+    def _demand_query(
+        self, name: str, pattern: Literal, mode: Union[QueryMode, str]
+    ) -> Optional[list[Answer]]:
+        """Goal-directed answers, or None when the demand path declined
+        (the caller then materializes)."""
+        from ..query import demand_answers
+
+        mode_value = mode.value if isinstance(mode, QueryMode) else str(mode)
+        result = demand_answers(
+            self.program(),
+            name,
+            pattern,
+            mode_value,
+            sources=self.edb_sources(name),
+        )
+        return result.answers if result.used else None
 
     def least_model(self, name: str) -> Interpretation:
         return self.view(name).least_model

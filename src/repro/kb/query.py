@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, Union
+from typing import Iterator, Sequence, Union
 
 from ..core.interpretation import Interpretation
 from ..core.semantics import OrderedSemantics
+from ..core.transform import DEMAND_STRATEGY
 from ..grounding.substitution import Substitution, match_atom
 from ..lang.errors import QueryError
 from ..lang.literals import Literal
@@ -78,12 +79,18 @@ def evaluate_query(
     semantics: OrderedSemantics,
     pattern: Union[Literal, str],
     mode: Union[QueryMode, str] = QueryMode.CAUTIOUS,
+    sources: Sequence = (),
 ) -> list[Answer]:
     """All answers to a literal pattern under the given mode.
 
     For cautious mode, answers are matches in the least model.  For
     skeptical mode, matches true in *every* stable model; for credulous
     mode, matches true in *some* stable model.
+
+    Under ``strategy="demand"``, cautious queries are answered
+    goal-directed through :func:`repro.query.demand_answers` (with
+    ``sources`` as extra extensional fact sources) whenever the view is
+    eligible; anything else falls back to the materialized path below.
     """
     if isinstance(pattern, str):
         pattern = parse_literal(pattern)
@@ -95,6 +102,19 @@ def evaluate_query(
                 f"unknown query mode {mode!r}; "
                 f"use one of {[m.value for m in QueryMode]}"
             ) from None
+    if semantics.strategy == DEMAND_STRATEGY:
+        from ..query import demand_answers  # deferred: repro.query imports us
+
+        result = demand_answers(
+            semantics.program,
+            semantics.component,
+            pattern,
+            mode.value,
+            sources=tuple(sources),
+        )
+        if result.used:
+            assert result.answers is not None
+            return result.answers
     models = _entailed_sets(semantics, mode)
     candidates = _matches(models[0], pattern)
     answers = []

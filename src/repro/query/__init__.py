@@ -1,0 +1,49 @@
+"""Demand-driven (goal-directed) query answering — docs/query.md.
+
+The subsystem has four layers:
+
+* :mod:`repro.query.sources` — pattern-directed fact access (in-memory
+  told facts, disk-backed :class:`~repro.db.edb.EdbStore`, unions);
+* :mod:`repro.query.magic` — the magic-sets rewrite specialized to the
+  ordered transform (cone, eligibility, sips, adornment);
+* :mod:`repro.query.engine` — semi-naive evaluation of the rewritten
+  program with lazy EDB fetches;
+* :mod:`repro.query.api` — :func:`demand_answers`, the entry point the
+  knowledge base, server and CLI route ``strategy="demand"`` through.
+"""
+
+from .api import DemandResult, demand_answers, demand_ineligibility
+from .engine import DemandEngine
+from .magic import (
+    BodyAtom,
+    DemandIneligible,
+    DemandRule,
+    MagicPlan,
+    build_plan,
+    cone_ineligibility,
+    goal_adornment,
+)
+from .sources import (
+    EdbFactSource,
+    FactSource,
+    MemoryFactSource,
+    UnionFactSource,
+)
+
+__all__ = [
+    "DemandResult",
+    "demand_answers",
+    "demand_ineligibility",
+    "DemandEngine",
+    "BodyAtom",
+    "DemandIneligible",
+    "DemandRule",
+    "MagicPlan",
+    "build_plan",
+    "cone_ineligibility",
+    "goal_adornment",
+    "EdbFactSource",
+    "FactSource",
+    "MemoryFactSource",
+    "UnionFactSource",
+]

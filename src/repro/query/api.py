@@ -1,0 +1,277 @@
+"""The public demand-evaluation entry point.
+
+:func:`demand_answers` answers a literal pattern against one view of an
+ordered program *without materializing the least model*, when sound:
+
+* the view must be seminegative and positive-or-stratified
+  (:func:`~repro.analysis.static.classify_view`; single-component is
+  *not* required — see :func:`_view_unroutable`), because only then
+  does the ordered least model coincide with the Horn closure the
+  magic-sets rewrite evaluates;
+* the goal's cone must be safe and free of recursive function growth
+  (:func:`~repro.query.magic.cone_ineligibility`);
+* the mode must be cautious — skeptical/credulous entailment consults
+  stable models, which demand evaluation does not enumerate.
+
+Anything else returns ``DemandResult(used=False, reason=...)`` and the
+caller falls back to full materialization; every fallback increments a
+``query.demand.fallback.<reason>`` counter so operators can see *why*
+the fast path declined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..analysis.abstract import analyze_rules
+from ..analysis.static import classify_view
+from ..kb.query import Answer
+from ..lang.literals import Atom, Literal
+from ..lang.parser import parse_literal
+from ..lang.program import OrderedProgram
+from ..lang.rules import Rule
+from ..obs import get_instrumentation
+from .engine import DemandEngine
+from .magic import DemandIneligible, build_plan, cone_ineligibility
+from .sources import FactSource, MemoryFactSource, UnionFactSource
+
+__all__ = [
+    "DemandResult",
+    "demand_answers",
+    "demand_ineligibility",
+]
+
+#: Fallback reasons that are about the request, not the program.
+REASON_MODE = "mode"
+REASON_UNROUTABLE = "unroutable"
+
+
+@dataclass(frozen=True)
+class DemandResult:
+    """Either the answers, or the reason the demand path declined."""
+
+    answers: Optional[list[Answer]]
+    used: bool
+    reason: Optional[str] = None
+    detail: Optional[str] = None
+
+
+def _partition(
+    program: OrderedProgram, component: str
+) -> tuple[list[Rule], MemoryFactSource]:
+    """Split the view into the demandable rule set and the told facts.
+
+    Ground positive facts become a :class:`MemoryFactSource`.  Rules
+    carrying a negative body literal are dropped entirely: under the
+    membership reading of a seminegative view no negative literal is
+    ever derivable, so those rules never fire (see
+    :func:`repro.classical.stratified.stratified_least_model`).
+    Non-ground facts stay in the rule set so the safety check flags
+    them.
+    """
+    facts = MemoryFactSource()
+    rules: list[Rule] = []
+    for comp in program.visible_components(component):
+        for r in comp.rules:
+            if r.is_fact and r.is_ground:
+                facts.add(r.head.atom)
+            elif all(l.positive for l in r.body_literals()):
+                rules.append(r)
+    return rules, facts
+
+
+class _StubRows:
+    """A fact source's relation viewed the way
+    :meth:`repro.analysis.abstract.AbstractAnalysis._seed_edb` expects:
+    ``len()`` is the true cardinality, iteration yields a small sample
+    (sort inference only) — never a scan of a disk-backed store."""
+
+    def __init__(self, count: int, sample: list[tuple]) -> None:
+        self._count = count
+        self._sample = sample
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        return iter(self._sample)
+
+
+class _StubRelation:
+    def __init__(self, name: str, arity: int, rows: _StubRows) -> None:
+        self.name = name
+        self.arity = arity
+        self.rows = rows
+
+
+def _cardinality_estimator(rules: Sequence[Rule], source: FactSource):
+    """Body-literal cardinality bounds from the abstract interpretation,
+    with EDB sizes seeded from the fact sources (sampled, not scanned)."""
+    stubs = []
+    for name in sorted(source.predicates()):
+        arity = source.arity(name)
+        if arity is None:
+            continue
+        stubs.append(
+            _StubRelation(
+                name, arity, _StubRows(source.count(name), source.sample(name))
+            )
+        )
+    try:
+        analysis = analyze_rules(rules, edb=stubs)
+    except Exception:
+        return lambda literal: None
+
+    def estimate(literal) -> Optional[int]:
+        try:
+            return analysis.literal_fact(literal).card.hi
+        except Exception:
+            return None
+
+    return estimate
+
+
+def _view_unroutable(program: OrderedProgram, component: str) -> Optional[str]:
+    """Why the view's least model is not the Horn closure the demand
+    rewrite evaluates, or None when it is.
+
+    This is :attr:`~repro.analysis.static.ViewClassification.routable`
+    minus the single-component requirement: a seminegative view derives
+    no negative literals, hence has no contradictions, hence no
+    overruling or defeating *between components either* — the component
+    order is inert and ``V_{P,C}`` degenerates to the stratified Horn
+    consequence operator over all visible rules, exactly as in
+    :func:`repro.classical.stratified.stratified_least_model`.
+    """
+    info = classify_view(program, component)
+    if not info.seminegative:
+        return "the view contains negative-head rules"
+    if info.classification not in ("positive", "stratified"):
+        return f"the view is {info.classification}"
+    return None
+
+
+def demand_ineligibility(
+    program: OrderedProgram, component: str
+) -> Optional[tuple[str, str]]:
+    """Why *no* goal against this view can take the demand path, or None.
+
+    Goal-independent: used by ``olp check`` for the ``demand-ineligible``
+    diagnostic.  Returns ``(reason, detail)`` with reason one of
+    ``unroutable`` (unstratified / negative heads), ``unsafe-sips`` or
+    ``function-growth``.
+    """
+    detail = _view_unroutable(program, component)
+    if detail is not None:
+        return (REASON_UNROUTABLE, detail)
+    rules, _ = _partition(program, component)
+    problem = cone_ineligibility(None, rules)
+    if problem is not None:
+        return (problem.reason, problem.detail)
+    return None
+
+
+def demand_answers(
+    program: OrderedProgram,
+    component: str,
+    pattern: Union[Literal, str],
+    mode: str = "cautious",
+    *,
+    sources: Sequence[FactSource] = (),
+) -> DemandResult:
+    """Answer a literal pattern goal-directed, or decline with a reason.
+
+    Args:
+        program: the ordered program.
+        component: the view to answer in.
+        pattern: the goal literal (possibly non-ground).
+        mode: only ``"cautious"`` is demandable.
+        sources: extra fact sources (attached EDB stores); told ground
+            facts of the view are always included.
+
+    Answers are bit-identical to
+    ``answers_in(semantics.least_model, pattern)`` whenever
+    ``used=True``.
+    """
+    obs = get_instrumentation()
+
+    def fallback(reason: str, detail: Optional[str] = None) -> DemandResult:
+        if obs.enabled:
+            obs.count(f"query.demand.fallback.{reason}")
+        return DemandResult(None, False, reason, detail)
+
+    if isinstance(pattern, str):
+        pattern = parse_literal(pattern)
+    if mode != "cautious":
+        return fallback(REASON_MODE, f"mode {mode!r} needs stable models")
+
+    unroutable = _view_unroutable(program, component)
+    if unroutable is not None:
+        return fallback(REASON_UNROUTABLE, unroutable)
+
+    if not pattern.positive:
+        # A routable (seminegative) view derives no negative literals:
+        # the least model cannot match a negative pattern.
+        if obs.enabled:
+            obs.count("query.demand.served")
+        return DemandResult([], True)
+
+    rules, facts = _partition(program, component)
+    source = UnionFactSource((facts, *sources))
+
+    idb = {r.head.predicate for r in rules}
+    if pattern.predicate not in idb:
+        # Purely extensional goal: answer straight from the sources.
+        answers = _extensional_answers(pattern, source)
+        if obs.enabled:
+            obs.count("query.demand.served")
+        return DemandResult(answers, True)
+
+    try:
+        plan = build_plan(
+            pattern,
+            rules,
+            source.predicates(),
+            _cardinality_estimator(rules, source),
+        )
+    except DemandIneligible as problem:
+        return fallback(problem.reason, problem.detail)
+
+    rows = DemandEngine(plan, source).run()
+    answers = _filter_rows(pattern, rows)
+    if obs.enabled:
+        obs.count("query.demand.served")
+    return DemandResult(answers, True)
+
+
+def _extensional_answers(pattern: Literal, source: FactSource) -> list[Answer]:
+    if source.arity(pattern.predicate) != len(pattern.args):
+        return []
+    fetch_pattern = [a if a.is_ground else None for a in pattern.args]
+    return _filter_rows(
+        pattern, source.fetch(pattern.predicate, fetch_pattern)
+    )
+
+
+def _filter_rows(pattern: Literal, rows) -> list[Answer]:
+    """Rows -> sorted answers, re-matched against the original pattern.
+
+    The re-match is what makes repeated goal variables (``p(X, X)``) and
+    compound argument patterns behave exactly like
+    :func:`repro.kb.query.answers_in` over the materialized model.
+    """
+    from ..grounding.substitution import match_atom
+
+    answers = []
+    seen = set()
+    for row in rows:
+        atom = Atom(pattern.predicate, tuple(row))
+        if atom in seen:
+            continue
+        seen.add(atom)
+        bindings = match_atom(pattern.atom, atom)
+        if bindings is None:
+            continue
+        answers.append(Answer(Literal(atom, True), bindings))
+    return sorted(answers, key=lambda a: str(a.literal))

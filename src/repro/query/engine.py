@@ -1,0 +1,192 @@
+"""Semi-naive evaluation of a compiled :class:`~repro.query.magic.MagicPlan`.
+
+The engine maintains one row-set per ``(kind, predicate, adornment)``
+key — magic (demand) predicates and adorned answer predicates — plus a
+worklist of newly-derived rows.  Extensional literals are never stored:
+each firing fetches exactly the rows its join prefix constrains from
+the :class:`~repro.query.sources.FactSource`, which is the whole point
+of the demand path: a ground goal over a 10M-fact EDB touches the
+handful of tuples its magic predicates request.
+
+Bridging: an intensional predicate may *also* have extensional rows
+(told facts, or an attached EDB store shadowing a derived relation).
+When a magic row for such a predicate is derived, the matching source
+rows are pulled straight into its adorned answer set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Optional
+
+from ..lang.terms import Compound, Term, Variable
+from ..obs import get_instrumentation
+from ..obs.trace import current_trace
+from .magic import DemandRule, MagicPlan
+from .sources import FactSource, Row
+
+__all__ = ["DemandEngine"]
+
+Key = tuple[str, str, str]
+
+
+def _match_term(pattern: Term, value: Term, theta: dict[Variable, Term]) -> bool:
+    """Structurally match ``value`` against ``pattern``, binding variables."""
+    if isinstance(pattern, Variable):
+        bound = theta.get(pattern)
+        if bound is None:
+            theta[pattern] = value
+            return True
+        return bound == value
+    if isinstance(pattern, Compound):
+        return (
+            isinstance(value, Compound)
+            and value.functor == pattern.functor
+            and len(value.args) == len(pattern.args)
+            and all(
+                _match_term(p, v, theta)
+                for p, v in zip(pattern.args, value.args)
+            )
+        )
+    return pattern == value
+
+
+def _match_args(
+    args: tuple[Term, ...], row: Row, theta: dict[Variable, Term]
+) -> bool:
+    if len(args) != len(row):
+        return False
+    return all(_match_term(a, v, theta) for a, v in zip(args, row))
+
+
+def _subst(term: Term, theta: Mapping[Variable, Term]) -> Term:
+    if isinstance(term, Variable):
+        return theta.get(term, term)
+    if isinstance(term, Compound):
+        return Compound(term.functor, tuple(_subst(a, theta) for a in term.args))
+    return term
+
+
+class DemandEngine:
+    """One-shot evaluator: ``run()`` returns the goal's answer rows."""
+
+    def __init__(self, plan: MagicPlan, source: FactSource) -> None:
+        self.plan = plan
+        self.source = source
+        self.total: dict[Key, set[Row]] = {}
+        self.worklist: deque[tuple[Key, Row]] = deque()
+        #: key -> [(rule, body position)] for stored (magic/idb) atoms.
+        self.watchers: dict[Key, list[tuple[DemandRule, int]]] = {}
+        for rule in plan.rules:
+            for i, atom in enumerate(rule.body):
+                if atom.kind != "edb":
+                    self.watchers.setdefault(atom.key, []).append((rule, i))
+        self.rows_derived = 0
+        self.rows_fetched = 0
+        self.firings = 0
+
+    def run(self) -> set[Row]:
+        obs = get_instrumentation()
+        goal = self.plan.goal
+        with obs.span(
+            "query.demand",
+            goal=goal.predicate,
+            adornment=self.plan.adornment or "()",
+            rules=len(self.plan.rules),
+        ):
+            self._add(("magic", goal.predicate, self.plan.adornment), self.plan.seed)
+            while self.worklist:
+                key, row = self.worklist.popleft()
+                if key[0] == "magic" and key[1] in self.plan.bridged:
+                    self._bridge(key, row)
+                for rule, position in self.watchers.get(key, ()):
+                    self._fire(rule, position, row)
+        if obs.enabled:
+            obs.count("query.demand.rows", self.rows_derived)
+            obs.count("query.demand.fetched", self.rows_fetched)
+        ctx = current_trace()
+        if ctx is not None:
+            ctx.add_cost(
+                demand_rows=self.rows_derived,
+                demand_fetched=self.rows_fetched,
+                demand_firings=self.firings,
+            )
+        return self.total.get(self.plan.answer_key, set())
+
+    # -- derivation ----------------------------------------------------
+
+    def _add(self, key: Key, row: Row) -> None:
+        rows = self.total.setdefault(key, set())
+        if row in rows:
+            return
+        rows.add(row)
+        self.rows_derived += 1
+        self.worklist.append((key, row))
+
+    def _bridge(self, key: Key, row: Row) -> None:
+        """Pull source rows matching a magic row into the answer set."""
+        _, predicate, adornment = key
+        arity = self.source.arity(predicate)
+        if arity is None or arity != len(adornment):
+            return
+        bound = iter(row)
+        pattern: list[Optional[Term]] = [
+            next(bound) if b == "b" else None for b in adornment
+        ]
+        for fetched in self.source.fetch(predicate, pattern):
+            self.rows_fetched += 1
+            self._add(("idb", predicate, adornment), fetched)
+
+    def _fire(self, rule: DemandRule, position: int, row: Row) -> None:
+        theta: dict[Variable, Term] = {}
+        if not _match_args(rule.body[position].args, row, theta):
+            return
+        self.firings += 1
+        self._extend(rule, 0, position, theta)
+
+    def _extend(
+        self,
+        rule: DemandRule,
+        position: int,
+        skip: int,
+        theta: dict[Variable, Term],
+    ) -> None:
+        """Join the remaining body positions (sips order), then emit."""
+        if position == len(rule.body):
+            self._emit(rule, theta)
+            return
+        if position == skip:
+            self._extend(rule, position + 1, skip, theta)
+            return
+        atom = rule.body[position]
+        if atom.kind == "edb":
+            if self.source.arity(atom.predicate) != len(atom.args):
+                return
+            pattern: list[Optional[Term]] = []
+            for arg in atom.args:
+                value = _subst(arg, theta)
+                pattern.append(value if value.is_ground else None)
+            for fetched in self.source.fetch(atom.predicate, pattern):
+                self.rows_fetched += 1
+                extended = dict(theta)
+                if _match_args(atom.args, fetched, extended):
+                    self._extend(rule, position + 1, skip, extended)
+        else:
+            for candidate in tuple(self.total.get(atom.key, ())):
+                extended = dict(theta)
+                if _match_args(atom.args, candidate, extended):
+                    self._extend(rule, position + 1, skip, extended)
+
+    def _emit(self, rule: DemandRule, theta: dict[Variable, Term]) -> None:
+        for guard in rule.guards:
+            try:
+                if not guard.holds(theta):
+                    return
+            except Exception:
+                # Mirrors the grounder and the bottom-up engine: a guard
+                # that cannot be evaluated drops the instance.
+                return
+        head = tuple(_subst(a, theta) for a in rule.head_args)
+        if any(not t.is_ground for t in head):
+            return
+        self._add(rule.head_key, head)

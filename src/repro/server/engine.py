@@ -476,7 +476,12 @@ class ServerEngine:
         ):
             if request.op == "explain":
                 return self._explain(snap, view, pattern)
-            if request.mode == "cautious":
+            answers = None
+            if request.strategy == "demand":
+                answers = self._demand_read(snap, view, pattern, request.mode)
+            if answers is not None:
+                pass
+            elif request.mode == "cautious":
                 interp = self._model_at(snap, view)
                 answers = answers_in(interp, pattern)
             else:
@@ -495,6 +500,29 @@ class ServerEngine:
             "count": len(answers),
             "mode": request.mode,
         }
+
+    def _demand_read(
+        self, snap: Snapshot, view: str, pattern: str, mode: str
+    ) -> Optional[list]:
+        """Goal-directed answers against a captured snapshot, or None
+        when the demand path declined (the caller then falls back to
+        the materialized read path).
+
+        The snapshot program is rules-only; attached EDB stores are
+        read-only for the server's lifetime, so consulting the writer
+        KB's stores is safe at any snapshot version.  This read never
+        warms :attr:`Snapshot.models` — not materializing is the point.
+        """
+        from ..query import demand_answers
+
+        result = demand_answers(
+            snap.program,
+            view,
+            pattern,
+            mode,
+            sources=self.kb.edb_sources(view),
+        )
+        return result.answers if result.used else None
 
     def _explain(self, snap: Snapshot, view: str, pattern: str) -> dict[str, Any]:
         """The ``explain`` op: derivation (or failure analysis) of one

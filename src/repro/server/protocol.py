@@ -9,8 +9,12 @@ op        fields
 ========  =====================================================
 query     ``view`` (object name), ``pattern`` (literal pattern,
           e.g. ``"fly(X)"``), optional ``mode``
-          (``cautious``/``skeptical``/``credulous``)
-ask       ``view``, ``pattern`` — boolean entailment
+          (``cautious``/``skeptical``/``credulous``), optional
+          ``strategy`` (``auto``/``demand`` — ``demand`` answers
+          goal-directed without materializing the model where sound,
+          see ``docs/query.md``)
+ask       ``view``, ``pattern`` — boolean entailment; accepts the
+          same ``mode``/``strategy`` fields as ``query``
 explain   ``view``, ``pattern`` (ground literal) — the derivation tree
           (or per-rule failure analysis) against the current snapshot
 tell      ``view``, ``rules`` (surface-syntax rules/facts)
@@ -89,6 +93,7 @@ __all__ = [
     "NOT_LEADER",
     "INTERNAL",
     "MODES",
+    "STRATEGIES",
     "ProtocolError",
     "Request",
     "parse_request",
@@ -105,6 +110,9 @@ STREAM_OPS = frozenset({"subscribe"})
 OPS = READ_OPS | WRITE_OPS | ADMIN_OPS | STREAM_OPS
 
 MODES = ("cautious", "skeptical", "credulous")
+
+#: Per-request read strategies (None = the server default, ``auto``).
+STRATEGIES = ("auto", "demand")
 
 BAD_REQUEST = "bad_request"
 SEMANTICS = "semantics"
@@ -139,6 +147,8 @@ class Request:
     mode: str = "cautious"
     rules: Optional[str] = None
     isa: tuple[str, ...] = ()
+    #: Read ops only: None (server default) or one of :data:`STRATEGIES`.
+    strategy: Optional[str] = None
     #: ``subscribe`` only: stream entries with version > this.
     from_version: int = 0
     #: ``subscribe`` only: None streams every entry; a tuple restricts
@@ -193,7 +203,7 @@ def parse_request(
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; expected one of {sorted(OPS)}")
 
-    view = pattern = rules = None
+    view = pattern = rules = strategy = None
     isa: tuple[str, ...] = ()
     from_version = 0
     views: Optional[tuple[str, ...]] = None
@@ -222,6 +232,11 @@ def parse_request(
     elif op in READ_OPS:
         view = _require_str(data, "view", op)
         pattern = _require_str(data, "pattern", op)
+        strategy = data.get("strategy")
+        if strategy is not None and strategy not in STRATEGIES:
+            raise ProtocolError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
     elif op in ("tell", "retract"):
         view = _require_str(data, "view", op)
         rules = _require_str(data, "rules", op)
@@ -251,6 +266,7 @@ def parse_request(
         mode=mode,
         rules=rules,
         isa=isa,
+        strategy=strategy,
         from_version=from_version,
         views=views,
         deadline_ms=deadline_ms,

@@ -1,11 +1,21 @@
 """Workload generators: the paper's programs, scalable hierarchies,
 classic deductive-database programs, and seeded random programs."""
 
-from . import classic, clients, experts, hierarchies, paper, random_programs, sessions
+from . import (
+    classic,
+    clients,
+    experts,
+    hierarchies,
+    paper,
+    point_query,
+    random_programs,
+    sessions,
+)
 from .classic import ancestor_chain, even_odd, two_stable, win_move
 from .clients import build_server_kb, client_traces, replay_traces
 from .experts import contradicting_panel, expert_panel
 from .hierarchies import diamond, override_chain, release_chain, taxonomy
+from .point_query import forest_program, load_forest_edb, point_goals
 from .random_programs import (
     random_negative_rules,
     random_ordered_program,
@@ -25,9 +35,13 @@ __all__ = [
     "classic",
     "experts",
     "hierarchies",
+    "point_query",
     "random_programs",
     "sessions",
     "clients",
+    "forest_program",
+    "load_forest_edb",
+    "point_goals",
     "client_traces",
     "replay_traces",
     "build_server_kb",

@@ -352,7 +352,7 @@ class TestReport:
         text = report.render()
         for d in report.diagnostics:
             assert d.code in text
-        assert "6 diagnostic(s)" in text
+        assert "9 diagnostic(s)" in text
 
     def test_diagnostic_str(self):
         d = Diagnostic("unsafe-rule", Severity.WARNING, "here", "msg", "fix")
@@ -365,4 +365,4 @@ class TestReport:
             analyze_program(figure2())
             counters = obs.snapshot()["counters"]
         assert counters["check.diagnostic.potential-defeat"] == 2
-        assert counters["check.diagnostics"] == 6
+        assert counters["check.diagnostics"] == 9

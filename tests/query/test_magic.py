@@ -1,0 +1,138 @@
+"""Unit tests for the demand (magic-sets) transformation."""
+
+import pytest
+
+from repro.lang.parser import parse_literal, parse_rules
+from repro.query import (
+    DemandIneligible,
+    build_plan,
+    cone_ineligibility,
+    goal_adornment,
+)
+from repro.query.magic import FUNCTION_GROWTH, UNSAFE_SIPS
+
+ANCESTOR = parse_rules(
+    """
+    ancestor(X, Y) <- parent(X, Y).
+    ancestor(X, Z) <- parent(X, Y), ancestor(Y, Z).
+    """
+)
+
+
+def no_cardinality(_literal):
+    return None
+
+
+class TestAdornments:
+    def test_ground_args_are_bound(self):
+        assert goal_adornment(parse_literal("p(a, X)")) == "bf"
+        assert goal_adornment(parse_literal("p(X, a)")) == "fb"
+        assert goal_adornment(parse_literal("p(a, b)")) == "bb"
+        assert goal_adornment(parse_literal("p(X, Y)")) == "ff"
+
+    def test_zero_arity_goal_has_empty_adornment(self):
+        assert goal_adornment(parse_literal("p")) == ""
+
+    def test_compound_ground_argument_is_bound(self):
+        assert goal_adornment(parse_literal("p(f(a), X)")) == "bf"
+
+
+class TestConeEligibility:
+    def test_clean_cone(self):
+        assert cone_ineligibility("ancestor", ANCESTOR) is None
+
+    def test_unsafe_head_variable(self):
+        rules = parse_rules("p(X, Y) <- q(X).")
+        problem = cone_ineligibility("p", rules)
+        assert problem is not None and problem.reason == UNSAFE_SIPS
+
+    def test_compound_head_is_function_growth(self):
+        rules = parse_rules("p(f(X)) <- q(X).")
+        problem = cone_ineligibility("p", rules)
+        assert problem is not None and problem.reason == FUNCTION_GROWTH
+
+    def test_compound_body_pattern_is_fine(self):
+        # Compound *patterns* in bodies only match existing data; only
+        # compound heads can grow the universe.
+        rules = parse_rules("p(X) <- q(f(X)).")
+        assert cone_ineligibility("p", rules) is None
+
+    def test_outside_the_cone_is_ignored(self):
+        rules = parse_rules(
+            """
+            p(X) <- q(X).
+            junk(f(X)) <- q(X).
+            """
+        )
+        assert cone_ineligibility("p", rules) is None
+        assert cone_ineligibility(None, rules) is not None
+
+
+class TestBuildPlan:
+    def test_bound_goal_produces_magic_rules(self):
+        plan = build_plan(
+            parse_literal("ancestor(a, X)"),
+            list(ANCESTOR),
+            {"parent"},
+            no_cardinality,
+        )
+        assert plan.adornment == "bf"
+        assert plan.answer_key == ("idb", "ancestor", "bf")
+        kinds = {r.head_key[0] for r in plan.rules}
+        assert kinds == {"magic", "idb"}
+        assert plan.edb == {"parent"}
+        # The recursive rule passes the binding through parent: the
+        # subgoal keeps the bf adornment, seeded by a magic rule.
+        magic_heads = {
+            r.head_key for r in plan.rules if r.head_key[0] == "magic"
+        }
+        assert ("magic", "ancestor", "bf") in magic_heads
+
+    def test_free_goal_has_no_bindings_to_pass(self):
+        plan = build_plan(
+            parse_literal("ancestor(X, Y)"),
+            list(ANCESTOR),
+            {"parent"},
+            no_cardinality,
+        )
+        assert plan.adornment == "ff"
+        assert plan.seed == ()
+
+    def test_unsafe_cone_raises(self):
+        rules = parse_rules("p(X, Y) <- q(X).")
+        with pytest.raises(DemandIneligible) as info:
+            build_plan(
+                parse_literal("p(a, X)"), list(rules), {"q"}, no_cardinality
+            )
+        assert info.value.reason == UNSAFE_SIPS
+
+    def test_only_the_cone_is_planned(self):
+        rules = parse_rules(
+            """
+            p(X) <- q(X).
+            other(X) <- r(X).
+            """
+        )
+        plan = build_plan(
+            parse_literal("p(a)"), list(rules), {"q", "r"}, no_cardinality
+        )
+        planned = {r.head_key[1] for r in plan.rules}
+        assert "other" not in planned
+
+    def test_cardinality_orders_the_sips(self):
+        # With big(X) huge and tiny(X) tiny, the sips order must visit
+        # tiny first even though big is written first.
+        rules = parse_rules("p(X) <- big(X), tiny(X).")
+        estimates = {"big": 1_000_000, "tiny": 2}
+
+        plan = build_plan(
+            parse_literal("p(X)"),
+            list(rules),
+            {"big", "tiny"},
+            lambda literal: estimates.get(literal.predicate),
+        )
+        (idb_rule,) = [r for r in plan.rules if r.head_key[0] == "idb"]
+        body_preds = [
+            atom.predicate for atom in idb_rule.body if atom.kind == "edb"
+        ]
+        assert body_preds == ["tiny", "big"]
